@@ -1,0 +1,65 @@
+//! Figure 12: TPC-C throughput with increasing machine count, DrTM vs
+//! the Calvin baseline (new-order and standard-mix).
+
+use drtm_bench::runners::{calvin_run, tpcc_run};
+use drtm_bench::{banner, mops, row, scaled};
+use drtm_calvin::{Calvin, CalvinConfig};
+use drtm_workloads::tpcc::TpccConfig;
+
+fn drtm_cfg(nodes: usize) -> TpccConfig {
+    TpccConfig {
+        nodes,
+        workers: 8,
+        customers_per_district: 60,
+        items: 1_000,
+        max_new_orders_per_node: 8 * 2_000,
+        region_size: 160 << 20,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    banner("fig12", "TPC-C throughput vs machines (8 workers each)");
+    let iters = scaled(220, 40);
+    let warmup = iters / 5;
+    row(&[
+        "machines".into(),
+        "DrTM new-order".into(),
+        "DrTM std-mix".into(),
+        "Calvin std-mix".into(),
+        "speedup".into(),
+    ]);
+    let mut last_ratio = 0.0;
+    let mut drtm_curve = Vec::new();
+    for nodes in 1..=6usize {
+        let rep = tpcc_run(drtm_cfg(nodes), iters, warmup);
+        let std_mix = rep.throughput();
+        let new_order = rep.throughput_of("new_order");
+        let ccfg = CalvinConfig {
+            nodes,
+            workers: 8,
+            warehouses_per_node: 8,
+            customers_per_district: 60,
+            items: 1_000,
+            ..Default::default()
+        };
+        let calvin = Calvin::build(ccfg);
+        let per_epoch = nodes * 8 * 40;
+        let (calvin_std, _, _) = calvin_run(calvin, 8, per_epoch, 0.01, 0.15);
+        last_ratio = std_mix / calvin_std;
+        drtm_curve.push(std_mix);
+        row(&[
+            nodes.to_string(),
+            mops(new_order),
+            mops(std_mix),
+            mops(calvin_std),
+            format!("{last_ratio:.1}x"),
+        ]);
+    }
+    assert!(
+        drtm_curve.last().expect("6 points") > &(drtm_curve[0] * 2.0),
+        "DrTM must scale with machines"
+    );
+    assert!(last_ratio > 5.0, "DrTM must clearly outperform Calvin (paper: 17.9-21.9x)");
+    println!("(paper: DrTM 3.67M std-mix on 6 machines; >=17.9x over Calvin)");
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: per-type virtual-time breakdown for the SmallBank sweep.
+use drtm_bench::runners::smallbank_run;
+use drtm_workloads::smallbank::SmallBankConfig;
+
+fn main() {
+    for workers in [1usize, 4, 16] {
+        let cfg = SmallBankConfig {
+            nodes: 6,
+            workers,
+            accounts_per_node: 5_000,
+            hot_per_node: 100,
+            hot_prob: 0.25,
+            dist_prob: 0.01,
+            region_size: 24 << 20,
+            ..Default::default()
+        };
+        let rep = smallbank_run(cfg, 350, 70);
+        let vt: Vec<u64> = rep.workers.iter().map(|w| w.vtime_ns / 1000).collect();
+        println!(
+            "workers={workers} tput={:.3}M vtime us min={} max={}",
+            rep.throughput() / 1e6,
+            vt.iter().min().unwrap(),
+            vt.iter().max().unwrap()
+        );
+    }
+}

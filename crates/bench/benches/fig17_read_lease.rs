@@ -1,0 +1,111 @@
+//! Figure 17: the benefit of the read lease (per-node throughput).
+//!
+//! Left panel: the read-write transaction with an increasing fraction of
+//! pure reads — without leases remote reads still take exclusive locks,
+//! so the read ratio barely helps. Right panel: the hotspot transaction
+//! (one read of 120 globally hot records) with increasing machines.
+
+use drtm_bench::runners::{micro_run, micro_run_with};
+use drtm_bench::{banner, mops, row, scaled};
+use drtm_workloads::micro::MicroConfig;
+
+fn cfg(nodes: usize, lease: bool) -> MicroConfig {
+    let mut c = MicroConfig {
+        nodes,
+        workers: 8, // the paper's 8 worker threads per machine
+        records_per_node: 5_000,
+        accesses: 10,
+        remote_prob: 0.10,
+        read_lease: lease,
+        hot_records: 120,
+        region_size: 24 << 20,
+        ..Default::default()
+    };
+    // Micro transactions are tiny; a shorter lease keeps writer blocking
+    // proportional, as in the paper (0.4 ms against ~10 µs transactions).
+    c.drtm.lease_us = 2_000;
+    c
+}
+
+fn main() {
+    banner("fig17", "read-lease benefit (per-node throughput)");
+    let iters = scaled(400, 60);
+    let warmup = iters / 5;
+
+    println!("-- read-write transaction, 6 machines, reads of 10 accesses --");
+    row(&["reads".into(), "w/ lease".into(), "w/o lease".into(), "gain".into()]);
+    let mut gain_hi = 0.0;
+    let mut gain_lo = 0.0;
+    for reads in [0usize, 2, 4, 6, 8, 10] {
+        let with = micro_run(cfg(6, true), reads, false, iters, warmup).throughput() / 6.0;
+        let without = micro_run(cfg(6, false), reads, false, iters, warmup).throughput() / 6.0;
+        let gain = with / without;
+        if reads == 0 {
+            gain_lo = gain;
+        }
+        if reads == 10 {
+            gain_hi = gain;
+        }
+        row(&[reads.to_string(), mops(with), mops(without), format!("{gain:.2}x")]);
+    }
+    assert!(
+        gain_hi > gain_lo,
+        "lease benefit must grow with the read ratio ({gain_lo:.2} -> {gain_hi:.2})"
+    );
+
+    println!("-- hotspot transaction, 120 hot records --");
+    row(&[
+        "machines".into(),
+        "w/ lease".into(),
+        "w/o lease".into(),
+        "gain".into(),
+        "conflicts/ktxn".into(),
+    ]);
+    let mut last_gain = 0.0;
+    let mut conflict_ratio = (0.0f64, 0.0f64);
+    for nodes in [1usize, 2, 4, 6] {
+        let (rep_w, st_w) = micro_run_with(cfg(nodes, true), 0, true, iters, warmup);
+        let (rep_o, st_o) = micro_run_with(cfg(nodes, false), 0, true, iters, warmup);
+        let with = rep_w.throughput() / nodes as f64;
+        let without = rep_o.throughput() / nodes as f64;
+        last_gain = with / without;
+        let cw = 1000.0 * st_w.start_conflicts as f64 / st_w.committed.max(1) as f64;
+        let co = 1000.0 * st_o.start_conflicts as f64 / st_o.committed.max(1) as f64;
+        if nodes == 2 {
+            // At 2 machines the uniform-pool write-write background is
+            // smallest, so the hot-record locking signal is cleanest.
+            conflict_ratio = (cw, co);
+        }
+        row(&[
+            nodes.to_string(),
+            mops(with),
+            mops(without),
+            format!("{last_gain:.2}x"),
+            format!("{cw:.1} vs {co:.1}"),
+        ]);
+    }
+    println!("hotspot gain on 6 machines: {last_gain:.2}x (paper: up to 1.29x)");
+    let _ = conflict_ratio;
+    assert!(last_gain > 0.9, "leases must not hurt the hotspot workload");
+
+    // Isolated mechanism check: transactions that ONLY read one hot
+    // record. With leases, readers share; without, they serialize on
+    // exclusive locks — the read-read sharing §4.2 exists to provide.
+    let mut hot_cfg = cfg(6, true);
+    hot_cfg.accesses = 1;
+    let (rep_w, st_w) = micro_run_with(hot_cfg, 0, true, iters * 2, warmup);
+    let mut hot_cfg = cfg(6, false);
+    hot_cfg.accesses = 1;
+    let (rep_o, st_o) = micro_run_with(hot_cfg, 0, true, iters * 2, warmup);
+    let share_gain = rep_w.throughput() / rep_o.throughput();
+    println!(
+        "hot-read-only transactions: {share_gain:.2}x throughput with leases; lock \
+         conflicts {} (lease) vs {} (exclusive)",
+        st_w.start_conflicts, st_o.start_conflicts
+    );
+    assert!(
+        st_o.start_conflicts >= st_w.start_conflicts,
+        "exclusive locks on hot records must conflict at least as much as shared leases"
+    );
+    assert!(share_gain > 1.0, "pure hot readers must benefit from lease sharing");
+}

@@ -1,0 +1,33 @@
+//! Diagnostic probe for the read-lease path (not a paper artifact).
+use drtm_workloads::driver::run;
+use drtm_workloads::micro::{Micro, MicroConfig};
+use std::sync::Arc;
+
+fn main() {
+    for lease in [true, false] {
+        let cfg = MicroConfig {
+            nodes: 2,
+            workers: 4,
+            records_per_node: 5_000,
+            accesses: 10,
+            remote_prob: 0.10,
+            read_lease: lease,
+            hot_records: 120,
+            region_size: 24 << 20,
+            ..Default::default()
+        };
+        let m = Arc::new(Micro::build(cfg));
+        m.sys.htm_stats().reset();
+        m.sys.stats().reset();
+        let m2 = m.clone();
+        let rep = run(2, 4, 300, move |n, w| {
+            let mut wk = m2.worker(n, w);
+            move |_| wk.hotspot()
+        }, 50);
+        let s = m.sys.stats().snapshot();
+        let h = m.sys.htm_stats().snapshot();
+        println!("lease={lease} tput={:.3}M commit={} fallback={} start_conf={} lease_fail={} htm_aborts(c/cap/e)={}/{}/{} fb={}",
+            rep.throughput()/1e6, s.committed, s.fallback_committed, s.start_conflicts,
+            s.lease_confirm_fails, h.conflict_aborts, h.capacity_aborts, h.explicit_aborts, h.fallbacks);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table 6: the cost of durability (logging to emulated NVRAM).
+//!
+//! TPC-C on 6 machines × 8 workers with logging off and on: new-order
+//! throughput, capacity-abort and fallback rates, and p50/90/99 latency.
+//! The paper reports ~11.6 % throughput loss, +4.4 %/+4.8 % capacity
+//! aborts and fallbacks, and a µs-scale latency increase — still orders
+//! of magnitude below Calvin's epoch-bound latencies.
+
+use drtm_bench::runners::{calvin_run, tpcc_run_with};
+use drtm_bench::{banner, f, mops, row, scaled};
+use drtm_calvin::{Calvin, CalvinConfig};
+use drtm_workloads::tpcc::TpccConfig;
+
+fn main() {
+    banner("tab6", "impact of durability on TPC-C (6 machines, 8 workers)");
+    let iters = scaled(220, 40);
+    let warmup = iters / 5;
+    row(&[
+        "logging".into(),
+        "new-order".into(),
+        "cap abort%".into(),
+        "fallback%".into(),
+        "p50 µs".into(),
+        "p90 µs".into(),
+        "p99 µs".into(),
+    ]);
+    let mut tput = [0.0f64; 2];
+    for (i, logging) in [false, true].into_iter().enumerate() {
+        let mut cfg = TpccConfig {
+            nodes: 6,
+            workers: 8,
+            customers_per_district: 60,
+            items: 1_000,
+            max_new_orders_per_node: 8 * 2_000,
+            region_size: 160 << 20,
+            ..Default::default()
+        };
+        cfg.drtm.logging = logging;
+        let (rep, htm, _txn) = tpcc_run_with(cfg, iters, warmup);
+        tput[i] = rep.throughput_of("new_order");
+        let commits = htm.commits.max(1) as f64;
+        let cap_pct = 100.0 * htm.capacity_aborts as f64 / commits;
+        let fb_pct = 100.0 * htm.fallbacks as f64 / commits;
+        let lat = rep.latency_percentiles_us(Some("new_order"), &[0.5, 0.9, 0.99]);
+        row(&[
+            if logging { "on" } else { "off" }.into(),
+            mops(tput[i]),
+            format!("{cap_pct:.2}"),
+            format!("{fb_pct:.2}"),
+            f(lat[0]),
+            f(lat[1]),
+            f(lat[2]),
+        ]);
+    }
+    let loss = 100.0 * (1.0 - tput[1] / tput[0]);
+    println!("throughput loss from logging: {loss:.1}% (paper: 11.6%)");
+    assert!(tput[1] < tput[0], "logging must cost throughput");
+    assert!(loss < 60.0, "logging cost must stay moderate");
+
+    // Calvin latency reference (paper Table 6 note: 6.04/15.84/60.54 ms).
+    let calvin = Calvin::build(CalvinConfig {
+        nodes: 6,
+        workers: 8,
+        warehouses_per_node: 8,
+        customers_per_district: 60,
+        items: 1_000,
+        ..Default::default()
+    });
+    let (_, _, lats) = calvin_run(calvin, 4, 6 * 8 * 40, 0.01, 0.15);
+    let mut ns: Vec<u64> = lats.iter().map(|&(_, l)| l).collect();
+    ns.sort_unstable();
+    let pick = |q: f64| ns[((ns.len() - 1) as f64 * q) as usize] as f64 / 1e6;
+    println!(
+        "Calvin latency: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms (epoch-bound)",
+        pick(0.5),
+        pick(0.9),
+        pick(0.99)
+    );
+    assert!(pick(0.5) > 1.0, "Calvin latency must be ms-scale");
+}

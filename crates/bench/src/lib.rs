@@ -1,0 +1,68 @@
+//! Shared infrastructure for the paper-reproduction benchmark harnesses.
+//!
+//! Every table and figure of the paper's evaluation has one bench target
+//! under `benches/` (registered with `harness = false`) that prints the
+//! same rows/series the paper reports. `cargo bench -p drtm-bench`
+//! regenerates everything; set `DRTM_SCALE` (default 1.0) to trade
+//! precision for runtime (EXPERIMENTS.md was produced with the default).
+
+pub mod kv;
+pub mod runners;
+
+/// Global effort multiplier from `DRTM_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("DRTM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scales an iteration count, keeping at least `min`.
+pub fn scaled(base: u64, min: u64) -> u64 {
+    ((base as f64 * scale()) as u64).max(min)
+}
+
+/// Prints a benchmark banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Prints one aligned row.
+pub fn row(cols: &[String]) {
+    let mut line = String::new();
+    for c in cols {
+        line.push_str(&format!("{c:>14} "));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with sensible precision.
+pub fn f(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a throughput in M ops (or txns) per second.
+pub fn mops(x: f64) -> String {
+    format!("{:.3}", x / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        assert!(scaled(100, 10) >= 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(123.456), "123");
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(f(0.1234), "0.123");
+        assert_eq!(mops(2_500_000.0), "2.500");
+    }
+}

@@ -1,0 +1,451 @@
+//! The deterministic epoch engine.
+//!
+//! One epoch = one sequencer batch. The engine walks the batch in global
+//! sequence order exactly once, maintaining explicit virtual clocks:
+//!
+//! * a per-node **lock-manager clock** — Calvin's lock manager is a
+//!   single thread, so lock grants serialize at `lock_ns` per request
+//!   (the per-node throughput ceiling);
+//! * per-node **worker clocks** — an executor is occupied from the
+//!   moment it picks a transaction until the transaction finishes,
+//!   including the time it blocks waiting for other participants'
+//!   read messages (IPoIB one-way cost `msg_ns`);
+//! * per-record **release clocks** (separate read/write) — FIFO lock
+//!   queues in virtual time.
+//!
+//! Data operations are applied for real against [`NodeStore`]s, so the
+//! resulting database is checkable with the same consistency conditions
+//! as the DrTM run.
+
+use std::collections::HashMap;
+
+use drtm_workloads::tpcc::keys;
+
+use crate::store::{gkey, table, NodeStore};
+use crate::txns::CalvinTxn;
+
+/// Calvin deployment parameters and cost model.
+#[derive(Debug, Clone)]
+pub struct CalvinConfig {
+    /// Machines in the cluster.
+    pub nodes: usize,
+    /// Executor threads per machine (the released Calvin hard-codes 8).
+    pub workers: usize,
+    /// Warehouses per machine.
+    pub warehouses_per_node: usize,
+    /// Districts per warehouse.
+    pub districts: u64,
+    /// Customers per district.
+    pub customers_per_district: u64,
+    /// Catalogue size.
+    pub items: u64,
+    /// Epoch length in µs (Calvin batches at 10 ms).
+    pub epoch_us: u64,
+    /// Sequencer cost per transaction (batch replication + dispatch).
+    pub seq_ns_per_txn: u64,
+    /// Serial lock-manager cost per lock request.
+    pub lock_ns: u64,
+    /// Executor cost per record operation.
+    pub op_ns: u64,
+    /// One-way message cost (IPoIB kernel path).
+    pub msg_ns: u64,
+}
+
+impl Default for CalvinConfig {
+    fn default() -> Self {
+        CalvinConfig {
+            nodes: 2,
+            workers: 8,
+            warehouses_per_node: 8,
+            districts: 10,
+            customers_per_district: 120,
+            items: 2_000,
+            epoch_us: 10_000,
+            seq_ns_per_txn: 2_000,
+            lock_ns: 1_500,
+            op_ns: 400,
+            msg_ns: 60_000,
+        }
+    }
+}
+
+impl CalvinConfig {
+    /// Total warehouses.
+    pub fn warehouses(&self) -> u64 {
+        (self.nodes * self.warehouses_per_node) as u64
+    }
+
+    /// Owning node of a warehouse.
+    pub fn node_of(&self, w: u64) -> usize {
+        (w / self.warehouses_per_node as u64) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LockClock {
+    read_release: u64,
+    write_release: u64,
+}
+
+/// Results of one executed epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Transactions executed.
+    pub executed: usize,
+    /// Virtual time when the epoch's last effect finished.
+    pub epoch_end_ns: u64,
+    /// Per-transaction `(label, latency ns)` including the average
+    /// half-epoch batching wait.
+    pub latencies: Vec<(&'static str, u64)>,
+}
+
+/// The Calvin baseline system.
+pub struct Calvin {
+    /// Configuration and cost model.
+    pub cfg: CalvinConfig,
+    stores: Vec<NodeStore>,
+    sched_clock: Vec<u64>,
+    worker_clock: Vec<Vec<u64>>,
+    locks: HashMap<(usize, u64), LockClock>,
+    now_ns: u64,
+}
+
+impl Calvin {
+    /// Builds and populates a TPC-C database mirroring the DrTM layout.
+    pub fn build(cfg: CalvinConfig) -> Calvin {
+        let stores: Vec<NodeStore> = (0..cfg.nodes).map(|_| NodeStore::default()).collect();
+        for n in 0..cfg.nodes {
+            let s = &stores[n];
+            for i in 0..cfg.items {
+                s.write(gkey(table::ITEM, i), vec![100 + (i * 37) % 9900, 0, 0]);
+            }
+            for wl in 0..cfg.warehouses_per_node as u64 {
+                let w = n as u64 * cfg.warehouses_per_node as u64 + wl;
+                s.write(gkey(table::WAREHOUSE, keys::warehouse(w)), vec![0, 750]);
+                for i in 0..cfg.items {
+                    s.write(gkey(table::STOCK, keys::stock(w, i)), vec![50 + (i % 50), 0, 0, 0]);
+                }
+                for d in 0..cfg.districts {
+                    s.write(
+                        gkey(table::DISTRICT, keys::district(w, d)),
+                        vec![0, 850, cfg.customers_per_district],
+                    );
+                    for c in 0..cfg.customers_per_district {
+                        s.write(gkey(table::CUSTOMER, keys::customer(w, d, c)), vec![0, 0, 0, 0, c % 97]);
+                        let o = c;
+                        s.write(gkey(table::ORDER, keys::order(w, d, o)), vec![c, 0, 1, 1]);
+                        s.write(
+                            gkey(table::ORDER_LINE, keys::order_line(w, d, o, 0)),
+                            vec![o % cfg.items, w, 5, 500, 1],
+                        );
+                        if c * 3 >= cfg.customers_per_district * 2 {
+                            s.new_orders.lock().insert(keys::order(w, d, o));
+                        }
+                    }
+                }
+            }
+        }
+        let worker_clock = vec![vec![0u64; cfg.workers]; cfg.nodes];
+        Calvin {
+            sched_clock: vec![0; cfg.nodes],
+            worker_clock,
+            locks: HashMap::new(),
+            now_ns: 0,
+            stores,
+            cfg,
+        }
+    }
+
+    /// Current virtual time (total elapsed ns since start).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The store of node `n` (for tests / consistency checks).
+    pub fn store(&self, n: usize) -> &NodeStore {
+        &self.stores[n]
+    }
+
+    /// Runs one sequencer epoch over `txns` (already in global order).
+    pub fn run_epoch(&mut self, txns: &[CalvinTxn]) -> EpochReport {
+        let epoch_start = self.now_ns;
+        // The batch closes a full epoch after it opened, then the
+        // sequencer replicates/dispatches it.
+        let seq_done =
+            epoch_start + self.cfg.epoch_us * 1_000 + self.cfg.seq_ns_per_txn * txns.len() as u64;
+        for c in &mut self.sched_clock {
+            *c = (*c).max(seq_done);
+        }
+        let mut report = EpochReport::default();
+
+        for txn in txns {
+            let locks = txn.locks();
+            // Participant nodes and their lock shares.
+            let mut per_node: HashMap<usize, Vec<(u64, bool)>> = HashMap::new();
+            for &(w, key, write) in &locks {
+                per_node.entry(self.cfg.node_of(w)).or_default().push((key, write));
+            }
+            // Serial lock manager grant on each participant.
+            let mut grant: HashMap<usize, u64> = HashMap::new();
+            for (&n, ls) in &per_node {
+                self.sched_clock[n] += self.cfg.lock_ns * ls.len() as u64;
+                grant.insert(n, self.sched_clock[n]);
+            }
+            // Start: worker availability + lock queues.
+            let mut start: HashMap<usize, u64> = HashMap::new();
+            let mut picked: HashMap<usize, usize> = HashMap::new();
+            for (&n, ls) in &per_node {
+                let (wid, &free) = self.worker_clock[n]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &t)| t)
+                    .expect("workers > 0");
+                let mut s = free.max(grant[&n]);
+                for &(key, write) in ls {
+                    let lc = self.locks.entry((n, key)).or_default();
+                    s = s.max(lc.write_release);
+                    if write {
+                        s = s.max(lc.read_release);
+                    }
+                }
+                start.insert(n, s);
+                picked.insert(n, wid);
+            }
+            // Local read/execute phase: cost split by lock share.
+            let total_locks = locks.len().max(1) as u64;
+            let exec_cost = txn.op_count() * self.cfg.op_ns;
+            let mut read_done: HashMap<usize, u64> = HashMap::new();
+            for (&n, ls) in &per_node {
+                let share = exec_cost * ls.len() as u64 / total_locks;
+                read_done.insert(n, start[&n] + share.max(self.cfg.op_ns));
+            }
+            // Read exchange among participants (one message per pair).
+            let multi = per_node.len() > 1;
+            let mut finish: HashMap<usize, u64> = HashMap::new();
+            for &n in per_node.keys() {
+                let mut f = read_done[&n];
+                if multi {
+                    for (&m, &rd) in &read_done {
+                        if m != n {
+                            f = f.max(rd + self.cfg.msg_ns);
+                        }
+                    }
+                }
+                finish.insert(n, f);
+            }
+            // Release locks and occupy workers.
+            for (&n, ls) in &per_node {
+                let f = finish[&n];
+                self.worker_clock[n][picked[&n]] = f;
+                for &(key, write) in ls {
+                    let lc = self.locks.entry((n, key)).or_default();
+                    if write {
+                        lc.write_release = lc.write_release.max(f);
+                    } else {
+                        lc.read_release = lc.read_release.max(f);
+                    }
+                }
+            }
+            // Apply the data operations for real.
+            self.apply(txn);
+            let home = self.cfg.node_of(match txn {
+                CalvinTxn::NewOrder { w, .. }
+                | CalvinTxn::Payment { w, .. }
+                | CalvinTxn::OrderStatus { w, .. }
+                | CalvinTxn::Delivery { w, .. }
+                | CalvinTxn::StockLevel { w, .. } => *w,
+            });
+            let lat = finish[&home] - epoch_start + self.cfg.epoch_us * 1_000 / 2;
+            report.latencies.push((txn.label(), lat));
+            report.executed += 1;
+        }
+
+        let end = self
+            .worker_clock
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.sched_clock.iter().copied())
+            .max()
+            .unwrap_or(epoch_start);
+        self.now_ns = end;
+        report.epoch_end_ns = end;
+        report
+    }
+
+    /// Applies a transaction's data operations.
+    fn apply(&self, txn: &CalvinTxn) {
+        match txn {
+            CalvinTxn::NewOrder { w, d, c, lines } => {
+                let home = &self.stores[self.cfg.node_of(*w)];
+                let mut o_id = 0;
+                home.update(gkey(table::DISTRICT, keys::district(*w, *d)), |v| {
+                    o_id = v[2];
+                    v[2] += 1;
+                });
+                for &(i, supply, qty) in lines {
+                    let s = &self.stores[self.cfg.node_of(supply)];
+                    s.update(gkey(table::STOCK, keys::stock(supply, i)), |v| {
+                        v[0] = if v[0] >= qty + 10 { v[0] - qty } else { v[0] + 91 - qty };
+                        v[1] = v[1].wrapping_add(qty);
+                        v[2] += 1;
+                        if supply != *w {
+                            v[3] += 1;
+                        }
+                    });
+                }
+                home.write(
+                    gkey(table::ORDER, keys::order(*w, *d, o_id)),
+                    vec![*c, 0, 0, lines.len() as u64],
+                );
+                for (k, &(i, supply, qty)) in lines.iter().enumerate() {
+                    home.write(
+                        gkey(table::ORDER_LINE, keys::order_line(*w, *d, o_id, k as u64)),
+                        vec![i, supply, qty, qty * 100, 0],
+                    );
+                }
+                home.new_orders.lock().insert(keys::order(*w, *d, o_id));
+            }
+            CalvinTxn::Payment { w, d, c_w, c_d, c, h } => {
+                let home = &self.stores[self.cfg.node_of(*w)];
+                home.update(gkey(table::WAREHOUSE, keys::warehouse(*w)), |v| {
+                    v[0] = v[0].wrapping_add(*h)
+                });
+                home.update(gkey(table::DISTRICT, keys::district(*w, *d)), |v| {
+                    v[0] = v[0].wrapping_add(*h)
+                });
+                let cs = &self.stores[self.cfg.node_of(*c_w)];
+                cs.update(gkey(table::CUSTOMER, keys::customer(*c_w, *c_d, *c)), |v| {
+                    v[0] = v[0].wrapping_sub(*h);
+                    v[1] = v[1].wrapping_add(*h);
+                    v[2] += 1;
+                });
+            }
+            CalvinTxn::OrderStatus { w, d, c } => {
+                let home = &self.stores[self.cfg.node_of(*w)];
+                let _ = home.read(gkey(table::CUSTOMER, keys::customer(*w, *d, *c)));
+            }
+            CalvinTxn::Delivery { w, carrier } => {
+                let home = &self.stores[self.cfg.node_of(*w)];
+                for d in 0..self.cfg.districts {
+                    let (lo, hi) = keys::new_order_range(*w, d);
+                    let picked = {
+                        let q = home.new_orders.lock();
+                        q.range(lo..=hi).next().copied()
+                    };
+                    let Some(key) = picked else { continue };
+                    home.new_orders.lock().remove(&key);
+                    let mut c_id = 0;
+                    home.update(gkey(table::ORDER, key), |v| {
+                        c_id = v[0];
+                        v[2] = *carrier;
+                    });
+                    home.update(gkey(table::CUSTOMER, keys::customer(*w, d, c_id)), |v| {
+                        v[3] += 1;
+                    });
+                }
+            }
+            CalvinTxn::StockLevel { w, d, .. } => {
+                let home = &self.stores[self.cfg.node_of(*w)];
+                let _ = home.read(gkey(table::DISTRICT, keys::district(*w, *d)));
+            }
+        }
+    }
+
+    /// TPC-C consistency condition 1 on the Calvin stores.
+    pub fn check_ytd_consistency(&self) -> bool {
+        for w in 0..self.cfg.warehouses() {
+            let s = &self.stores[self.cfg.node_of(w)];
+            let w_ytd = s.read(gkey(table::WAREHOUSE, keys::warehouse(w))).expect("warehouse")[0];
+            let d_sum: u64 = (0..self.cfg.districts)
+                .map(|d| s.read(gkey(table::DISTRICT, keys::district(w, d))).expect("district")[0])
+                .sum();
+            if w_ytd != d_sum {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CalvinConfig {
+        CalvinConfig {
+            nodes: 2,
+            workers: 2,
+            warehouses_per_node: 2,
+            districts: 3,
+            customers_per_district: 10,
+            items: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn epoch_executes_and_time_advances() {
+        let mut c = Calvin::build(tiny());
+        let txns: Vec<CalvinTxn> = (0..20)
+            .map(|k| CalvinTxn::Payment { w: k % 4, d: 0, c_w: k % 4, c_d: 0, c: k % 10, h: 10 })
+            .collect();
+        let r = c.run_epoch(&txns);
+        assert_eq!(r.executed, 20);
+        assert!(c.now_ns() >= c.cfg.epoch_us * 1000, "epoch batching dominates");
+        assert!(c.check_ytd_consistency());
+    }
+
+    #[test]
+    fn latency_is_epoch_bound() {
+        let mut c = Calvin::build(tiny());
+        let r = c.run_epoch(&[CalvinTxn::OrderStatus { w: 0, d: 0, c: 1 }]);
+        // Even a trivial transaction pays the batching latency (the paper
+        // reports ~6 ms p50 for Calvin vs µs for DrTM, Table 6).
+        assert!(r.latencies[0].1 >= c.cfg.epoch_us * 1000 / 2);
+    }
+
+    #[test]
+    fn conflicting_txns_serialize_in_virtual_time() {
+        let mut c = Calvin::build(tiny());
+        // Two payments on the same warehouse row must not overlap.
+        let txns = vec![
+            CalvinTxn::Payment { w: 0, d: 0, c_w: 0, c_d: 0, c: 0, h: 1 },
+            CalvinTxn::Payment { w: 0, d: 1, c_w: 0, c_d: 1, c: 1, h: 1 },
+        ];
+        let r = c.run_epoch(&txns);
+        let gap = r.latencies[1].1 as i64 - r.latencies[0].1 as i64;
+        assert!(gap > 0, "second conflicting txn must finish later (gap {gap})");
+    }
+
+    #[test]
+    fn distributed_txn_pays_message_latency() {
+        let mut c = Calvin::build(tiny());
+        let local = CalvinTxn::NewOrder { w: 0, d: 0, c: 0, lines: vec![(1, 0, 1)] };
+        let dist = CalvinTxn::NewOrder { w: 0, d: 1, c: 0, lines: vec![(1, 2, 1)] }; // wh 2 = node 1
+        let r = c.run_epoch(&[local, dist]);
+        let (l_lat, d_lat) = (r.latencies[0].1, r.latencies[1].1);
+        assert!(
+            d_lat >= l_lat + c.cfg.msg_ns / 2,
+            "distributed txn must pay messaging: {l_lat} vs {d_lat}"
+        );
+    }
+
+    #[test]
+    fn new_order_then_delivery_consistent() {
+        let mut c = Calvin::build(tiny());
+        let no: Vec<CalvinTxn> = (0..6)
+            .map(|k| CalvinTxn::NewOrder {
+                w: 0,
+                d: k % 3,
+                c: k % 10,
+                lines: vec![(k % 50, 0, 2), ((k + 1) % 50, 0, 1)],
+            })
+            .collect();
+        c.run_epoch(&no);
+        let before = c.store(0).new_orders.lock().len();
+        c.run_epoch(&[CalvinTxn::Delivery { w: 0, carrier: 3 }]);
+        let after = c.store(0).new_orders.lock().len();
+        assert_eq!(after, before - 3, "one delivered per non-empty district");
+    }
+}

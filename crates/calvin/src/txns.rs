@@ -1,0 +1,158 @@
+//! TPC-C transaction descriptors for the Calvin baseline.
+//!
+//! Calvin requires read/write sets up front (the same assumption DrTM
+//! makes, §4.1); each descriptor can enumerate its lock set and name its
+//! participant nodes before execution.
+
+use drtm_workloads::tpcc::keys;
+
+use crate::store::{gkey, table};
+
+/// A TPC-C transaction request with all inputs chosen by the client.
+#[derive(Debug, Clone)]
+pub enum CalvinTxn {
+    /// New-order: `lines` are `(item, supply_warehouse, quantity)`.
+    NewOrder {
+        /// Home warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Customer.
+        c: u64,
+        /// Order lines.
+        lines: Vec<(u64, u64, u64)>,
+    },
+    /// Payment of `h` cents by customer `(c_w, c_d, c)` at `(w, d)`.
+    Payment {
+        /// Home warehouse.
+        w: u64,
+        /// Home district.
+        d: u64,
+        /// Customer warehouse (15 % remote).
+        c_w: u64,
+        /// Customer district.
+        c_d: u64,
+        /// Customer id.
+        c: u64,
+        /// Amount in cents.
+        h: u64,
+    },
+    /// Read-only status of a customer's last order.
+    OrderStatus {
+        /// Warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Customer.
+        c: u64,
+    },
+    /// Deliver the oldest undelivered order of every district.
+    Delivery {
+        /// Warehouse.
+        w: u64,
+        /// Carrier id.
+        carrier: u64,
+    },
+    /// Count low-stock items among recent orders.
+    StockLevel {
+        /// Warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Stock threshold.
+        threshold: u64,
+    },
+}
+
+impl CalvinTxn {
+    /// Short label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CalvinTxn::NewOrder { .. } => "new_order",
+            CalvinTxn::Payment { .. } => "payment",
+            CalvinTxn::OrderStatus { .. } => "order_status",
+            CalvinTxn::Delivery { .. } => "delivery",
+            CalvinTxn::StockLevel { .. } => "stock_level",
+        }
+    }
+
+    /// The lock set: `(warehouse, unified key, is_write)`. The engine
+    /// maps warehouses to nodes.
+    pub fn locks(&self) -> Vec<(u64, u64, bool)> {
+        match self {
+            CalvinTxn::NewOrder { w, d, c, lines } => {
+                let mut v = vec![
+                    (*w, gkey(table::DISTRICT, keys::district(*w, *d)), true),
+                    (*w, gkey(table::WAREHOUSE, keys::warehouse(*w)), false),
+                    (*w, gkey(table::CUSTOMER, keys::customer(*w, *d, *c)), false),
+                ];
+                for &(i, supply, _) in lines {
+                    v.push((supply, gkey(table::STOCK, keys::stock(supply, i)), true));
+                    v.push((*w, gkey(table::ITEM, i), false));
+                }
+                v
+            }
+            CalvinTxn::Payment { w, d, c_w, c_d, c, .. } => vec![
+                (*w, gkey(table::WAREHOUSE, keys::warehouse(*w)), true),
+                (*w, gkey(table::DISTRICT, keys::district(*w, *d)), true),
+                (*c_w, gkey(table::CUSTOMER, keys::customer(*c_w, *c_d, *c)), true),
+            ],
+            CalvinTxn::OrderStatus { w, d, c } => {
+                vec![(*w, gkey(table::CUSTOMER, keys::customer(*w, *d, *c)), false)]
+            }
+            // Delivery and stock-level lock at district granularity in
+            // this simplified lock table (their scan sets are dynamic).
+            CalvinTxn::Delivery { w, .. } => (0..10u64)
+                .map(|d| (*w, gkey(table::DISTRICT, keys::district(*w, d)), true))
+                .collect(),
+            CalvinTxn::StockLevel { w, d, .. } => {
+                vec![(*w, gkey(table::DISTRICT, keys::district(*w, *d)), false)]
+            }
+        }
+    }
+
+    /// Number of record operations this transaction performs (drives the
+    /// execution cost model).
+    pub fn op_count(&self) -> u64 {
+        match self {
+            CalvinTxn::NewOrder { lines, .. } => 3 + 3 * lines.len() as u64 + 2,
+            CalvinTxn::Payment { .. } => 4,
+            CalvinTxn::OrderStatus { .. } => 8,
+            CalvinTxn::Delivery { .. } => 40,
+            CalvinTxn::StockLevel { .. } => 120,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_order_locks_cover_remote_stock() {
+        let t = CalvinTxn::NewOrder { w: 0, d: 1, c: 2, lines: vec![(7, 3, 2), (8, 0, 1)] };
+        let locks = t.locks();
+        assert!(locks.iter().any(|&(w, k, wr)| w == 3 && wr && k >> 60 == table::STOCK));
+        assert!(locks.iter().any(|&(w, _, wr)| w == 0 && wr)); // district
+        assert_eq!(t.label(), "new_order");
+    }
+
+    #[test]
+    fn payment_locks_customer_warehouse() {
+        let t = CalvinTxn::Payment { w: 0, d: 0, c_w: 5, c_d: 1, c: 9, h: 100 };
+        assert!(t.locks().iter().any(|&(w, _, wr)| w == 5 && wr));
+    }
+
+    #[test]
+    fn op_counts_are_positive() {
+        for t in [
+            CalvinTxn::NewOrder { w: 0, d: 0, c: 0, lines: vec![(1, 0, 1)] },
+            CalvinTxn::Payment { w: 0, d: 0, c_w: 0, c_d: 0, c: 0, h: 1 },
+            CalvinTxn::OrderStatus { w: 0, d: 0, c: 0 },
+            CalvinTxn::Delivery { w: 0, carrier: 1 },
+            CalvinTxn::StockLevel { w: 0, d: 0, threshold: 10 },
+        ] {
+            assert!(t.op_count() > 0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Standard region layout for DrTM machines.
+//!
+//! Every machine's region begins with the softtime line, followed by one
+//! NVRAM log slot per worker, followed by table space carved by the
+//! workload. All machines use the identical layout so remote addresses
+//! can be computed without metadata exchange.
+
+use drtm_memstore::Arena;
+
+use crate::time::SOFTTIME_OFF;
+
+/// Region offsets of one worker's NVRAM log slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogSlotLayout {
+    /// Offset of the status word.
+    pub status_off: usize,
+    /// Offset of the chopping-information word (Figure 7: which piece of
+    /// a chopped parent transaction to resume after recovery).
+    pub chop_off: usize,
+    /// Offset of the lock-ahead area (length prefix + payload).
+    pub lock_ahead_off: usize,
+    /// Capacity of the lock-ahead area in bytes.
+    pub lock_ahead_cap: usize,
+    /// Offset of the write-ahead area (length prefix + payload).
+    pub write_ahead_off: usize,
+    /// Capacity of the write-ahead area in bytes.
+    pub write_ahead_cap: usize,
+}
+
+/// The per-machine region layout.
+#[derive(Debug, Clone)]
+pub struct NodeLayout {
+    /// Log slot layouts, indexed by worker id.
+    pub log_slots: Vec<LogSlotLayout>,
+}
+
+impl NodeLayout {
+    /// Default lock-ahead capacity per worker.
+    pub const LOCK_AHEAD_CAP: usize = 1 << 10;
+    /// Default write-ahead capacity per worker.
+    pub const WRITE_AHEAD_CAP: usize = 16 << 10;
+
+    /// Reserves the softtime line and `workers` log slots from `arena`
+    /// (which must start at region offset 0).
+    pub fn reserve(arena: &mut Arena, workers: usize) -> NodeLayout {
+        let st = arena.reserve(64);
+        assert_eq!(st, SOFTTIME_OFF, "softtime must be the first line of the region");
+        let log_slots = (0..workers)
+            .map(|_| {
+                let status_off = arena.reserve(64);
+                let chop_off = status_off + 8;
+                let lock_ahead_off = arena.reserve(Self::LOCK_AHEAD_CAP);
+                let write_ahead_off = arena.reserve(Self::WRITE_AHEAD_CAP);
+                LogSlotLayout {
+                    status_off,
+                    chop_off,
+                    lock_ahead_off,
+                    lock_ahead_cap: Self::LOCK_AHEAD_CAP,
+                    write_ahead_off,
+                    write_ahead_cap: Self::WRITE_AHEAD_CAP,
+                }
+            })
+            .collect();
+        NodeLayout { log_slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_disjoint_and_ordered() {
+        let mut arena = Arena::new(0, 1 << 20);
+        let l = NodeLayout::reserve(&mut arena, 4);
+        assert_eq!(l.log_slots.len(), 4);
+        for w in l.log_slots.windows(2) {
+            assert!(w[0].write_ahead_off + w[0].write_ahead_cap <= w[1].status_off);
+        }
+        assert!(l.log_slots[0].status_off >= 64, "softtime line reserved first");
+    }
+
+    #[test]
+    #[should_panic(expected = "softtime must be the first line")]
+    fn rejects_offset_arenas() {
+        let mut arena = Arena::new(128, 1 << 20);
+        NodeLayout::reserve(&mut arena, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Tunables of the DrTM transaction layer.
+
+use drtm_htm::HtmConfig;
+
+/// Where a transaction reads softtime for local-op lease checks (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SofttimeStrategy {
+    /// Read softtime transactionally on every local read/write *and* the
+    /// commit-time confirmation (Figure 11(b)): maximal freshness, but
+    /// every timer tick aborts every in-flight transaction.
+    PerOp,
+    /// Reuse the softtime acquired in the Start phase (outside the HTM
+    /// region) for local ops and read it transactionally only for the
+    /// lease confirmation just before `XEND` (Figure 11(c)) — the
+    /// paper's chosen design.
+    #[default]
+    ReuseStart,
+}
+
+/// Simulated crash points for durability tests (§4.6 / Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after remote locks are taken and the lock-ahead log is
+    /// persisted, but before the HTM region commits (Figure 7(a)).
+    BeforeHtmCommit,
+    /// Crash after `XEND` (write-ahead log persisted) but before any
+    /// remote write-back (Figure 7(b)).
+    AfterHtmCommit,
+    /// Crash after the first remote write-back WRITE landed.
+    MidWriteBack,
+}
+
+/// Configuration of a [`crate::DrTm`] instance.
+#[derive(Debug, Clone)]
+pub struct DrTmConfig {
+    /// Emulated HTM hardware parameters.
+    pub htm: HtmConfig,
+    /// Read-lease duration for read-write transactions (paper: 0.4 ms;
+    /// scaled up ~5× because leases expire in *wall* time and a worker
+    /// thread on an oversubscribed host can be descheduled mid-window.
+    /// Longer leases trade fewer confirmation retries for longer writer
+    /// blocking; a failed confirmation is cheap (restart the Start
+    /// phase), so the default stays close to the paper's value).
+    pub lease_us: u64,
+    /// Read-lease duration for read-only transactions (paper: 1.0 ms).
+    pub ro_lease_us: u64,
+    /// Clock-skew tolerance added around lease ends (paper: PTP-derived).
+    pub delta_us: u64,
+    /// Start-phase retries (whole-transaction restarts on remote lock
+    /// conflicts) before switching to the ordered fallback path.
+    pub start_retries: u32,
+    /// Softtime acquisition strategy.
+    pub softtime: SofttimeStrategy,
+    /// Whether durability logging is enabled (Table 6).
+    pub logging: bool,
+    /// Virtual-time cost of persisting one log record to NVRAM.
+    pub nvram_write_ns: u64,
+    /// Test hook: simulate a crash of this worker at the given point.
+    pub crash_point: Option<CrashPoint>,
+}
+
+impl Default for DrTmConfig {
+    fn default() -> Self {
+        DrTmConfig {
+            htm: HtmConfig::default(),
+            lease_us: 1_000,
+            ro_lease_us: 2_000,
+            delta_us: 100,
+            start_retries: 50,
+            softtime: SofttimeStrategy::ReuseStart,
+            logging: false,
+            nvram_write_ns: 2_000,
+            crash_point: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let c = DrTmConfig::default();
+        assert!(c.ro_lease_us >= c.lease_us, "RO leases are at least as long (§4.3)");
+        assert!(c.delta_us <= c.lease_us / 10, "delta must be small vs lease");
+        assert_eq!(c.softtime, SofttimeStrategy::ReuseStart);
+        assert!(!c.logging);
+        assert!(c.crash_point.is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Failure detection (the paper's Zookeeper role, §4.6).
+//!
+//! DrTM delegates failure detection to an external coordination service:
+//! every machine maintains a heartbeat, and when one stops, the service
+//! notifies the surviving machines to run recovery against the crashed
+//! machine's NVRAM logs. This module is that service's stand-in: a
+//! heartbeat table, per-machine beater threads, a monitor thread, and a
+//! user-supplied recovery callback invoked with `(crashed, survivor)`.
+//!
+//! The coordination channel is deliberately *not* the RDMA fabric — the
+//! paper runs Zookeeper over a separate 10 GbE network — so heartbeats
+//! here are plain shared-memory timestamps, independent of region state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use drtm_rdma::NodeId;
+
+use crate::time::wall_now_us;
+
+struct FdInner {
+    /// Last heartbeat per machine (µs since epoch); 0 = never.
+    beats: Vec<AtomicU64>,
+    /// Machines administratively killed (simulated crash).
+    killed: Vec<AtomicBool>,
+    /// Machines already reported to the callback.
+    reported: Vec<AtomicBool>,
+    stop: AtomicBool,
+}
+
+/// The heartbeat-based failure detector.
+///
+/// Dropping the handle stops all of its threads.
+pub struct FailureDetector {
+    inner: Arc<FdInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureDetector").field("nodes", &self.inner.beats.len()).finish()
+    }
+}
+
+impl FailureDetector {
+    /// Starts beater threads for `nodes` machines and a monitor that
+    /// calls `on_failure(crashed, survivor)` once per detected crash.
+    ///
+    /// A machine is suspected after `timeout` without a heartbeat; the
+    /// survivor passed to the callback is the lowest-numbered live
+    /// machine (the paper lets Zookeeper pick any survivor).
+    pub fn start(
+        nodes: usize,
+        heartbeat: Duration,
+        timeout: Duration,
+        on_failure: impl Fn(NodeId, NodeId) + Send + 'static,
+    ) -> FailureDetector {
+        assert!(nodes >= 2, "failure detection needs a survivor");
+        assert!(timeout > heartbeat, "timeout must exceed the heartbeat period");
+        let now = wall_now_us();
+        let inner = Arc::new(FdInner {
+            beats: (0..nodes).map(|_| AtomicU64::new(now)).collect(),
+            killed: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            reported: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            stop: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        for n in 0..nodes {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("drtm-heartbeat-{n}"))
+                    .spawn(move || {
+                        while !inner.stop.load(Ordering::Relaxed) {
+                            if !inner.killed[n].load(Ordering::Relaxed) {
+                                inner.beats[n].store(wall_now_us(), Ordering::Relaxed);
+                            }
+                            std::thread::sleep(heartbeat);
+                        }
+                    })
+                    .expect("spawn beater"),
+            );
+        }
+        {
+            let inner = inner.clone();
+            let timeout_us = timeout.as_micros() as u64;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("drtm-failure-monitor".into())
+                    .spawn(move || {
+                        while !inner.stop.load(Ordering::Relaxed) {
+                            let now = wall_now_us();
+                            let survivor = (0..inner.beats.len()).find(|&m| {
+                                now.saturating_sub(inner.beats[m].load(Ordering::Relaxed))
+                                    <= timeout_us
+                            });
+                            for n in 0..inner.beats.len() {
+                                let late = now
+                                    .saturating_sub(inner.beats[n].load(Ordering::Relaxed))
+                                    > timeout_us;
+                                if late && !inner.reported[n].swap(true, Ordering::Relaxed) {
+                                    if let Some(s) = survivor {
+                                        if s != n {
+                                            on_failure(n as NodeId, s as NodeId);
+                                        }
+                                    }
+                                }
+                            }
+                            std::thread::sleep(heartbeat);
+                        }
+                    })
+                    .expect("spawn monitor"),
+            );
+        }
+        FailureDetector { inner, threads }
+    }
+
+    /// Simulates a crash: machine `node` stops heartbeating.
+    pub fn kill(&self, node: NodeId) {
+        self.inner.killed[node as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Simulates a restart: heartbeats resume and suspicion clears.
+    pub fn revive(&self, node: NodeId) {
+        self.inner.killed[node as usize].store(false, Ordering::Relaxed);
+        self.inner.beats[node as usize].store(wall_now_us(), Ordering::Relaxed);
+        self.inner.reported[node as usize].store(false, Ordering::Relaxed);
+    }
+
+    /// True if `node` has been reported crashed.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.inner.reported[node as usize].load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for FailureDetector {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn detects_a_killed_node_and_names_a_survivor() {
+        let (tx, rx) = mpsc::channel();
+        let fd = FailureDetector::start(
+            3,
+            Duration::from_millis(5),
+            Duration::from_millis(400),
+            move |crashed, survivor| {
+                let _ = tx.send((crashed, survivor));
+            },
+        );
+        fd.kill(1);
+        let (crashed, survivor) = rx.recv_timeout(Duration::from_secs(10)).expect("detection");
+        assert_eq!(crashed, 1);
+        assert_ne!(survivor, 1);
+        assert!(fd.is_suspected(1));
+        assert!(!fd.is_suspected(0));
+        // Exactly one report per crash.
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn healthy_cluster_reports_nothing() {
+        let (tx, rx) = mpsc::channel::<(NodeId, NodeId)>();
+        let _fd = FailureDetector::start(
+            2,
+            Duration::from_millis(5),
+            Duration::from_millis(500),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn revive_clears_suspicion() {
+        let (tx, rx) = mpsc::channel();
+        // Generous timeout: on a loaded host the beater thread can starve
+        // for tens of milliseconds, which must not re-trigger suspicion.
+        let fd = FailureDetector::start(
+            2,
+            Duration::from_millis(5),
+            Duration::from_millis(600),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        fd.kill(1);
+        rx.recv_timeout(Duration::from_secs(10)).expect("first detection");
+        fd.revive(1);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!fd.is_suspected(1), "revived node is no longer suspected");
+    }
+}

@@ -1,0 +1,53 @@
+//! DrTM's transaction layer: fast in-memory transactions over (emulated)
+//! HTM and RDMA.
+//!
+//! This crate is the paper's primary contribution: a hybrid concurrency
+//! control that runs the local part of each transaction inside an HTM
+//! region and coordinates cross-machine accesses with a 2PL protocol
+//! built from one-sided RDMA CAS/READ/WRITE, glued together by HTM's
+//! strong atomicity and RDMA's strong consistency (§4). It provides:
+//!
+//! * [`Worker::execute`] — strictly serializable read-write transactions
+//!   with the Start/LocalTX/Commit phase structure of Figure 2/3, the
+//!   lease-based shared locks of §4.2/4.3, and the contention-managed
+//!   fallback handler of §6.2;
+//! * [`Worker::read_only`] — the HTM-free read-only scheme of §4.5;
+//! * [`SoftTimer`] — the softtime service of §6.1;
+//! * [`LogSlot`]/[`recover_node`] — cooperative logging and recovery for
+//!   durability (§4.6, Figure 7);
+//! * the per-record [`LockState`] word of Figure 4 and the record-level
+//!   operations of Figures 5/6 in [`record_ops`].
+
+mod alloc_layout;
+mod config;
+mod failure;
+mod log;
+mod record;
+mod recovery;
+mod ro;
+mod state;
+mod stats;
+mod time;
+mod txn;
+
+pub use alloc_layout::{LogSlotLayout, NodeLayout};
+pub use drtm_htm::Abort;
+pub use config::{CrashPoint, DrTmConfig, SofttimeStrategy};
+pub use failure::FailureDetector;
+pub use log::{ChopInfo, LogSlot, LoggedUpdate, LOG_EMPTY, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
+pub use record::{
+    local_read, local_write, remote_lock_write, remote_lock_write_via, remote_read,
+    remote_read_via, remote_unlock, remote_unlock_via, remote_write_back, remote_write_back_via,
+    FetchedRecord, LockConflict, RecordAddr, ABORT_LEASED, ABORT_LEASE_EXPIRED, ABORT_LOCKED,
+};
+pub use recovery::{recover_node, RecoveryReport};
+pub use ro::{RoCtx, RoRestart};
+pub use state::{LockState, INIT};
+pub use stats::{TxnStats, TxnStatsSnapshot};
+pub use time::{softtime_nt, softtime_txn, wall_now_us, SoftTimer, SOFTTIME_OFF};
+pub use txn::{DrTm, TxnCtx, TxnError, TxnSpec, Worker, USER_ABORT};
+
+/// Re-export of the record module for protocol-level access.
+pub mod record_ops {
+    pub use crate::record::*;
+}

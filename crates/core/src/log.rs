@@ -1,0 +1,361 @@
+//! Cooperative durability logging (§4.6, Figure 7).
+//!
+//! Each worker owns one log *slot* in its machine's region (standing in
+//! for battery-backed NVRAM under the flush-on-failure policy): a status
+//! word plus a lock-ahead area and a write-ahead area. Because a worker
+//! executes one transaction at a time and completes its write-backs
+//! before starting the next, a slot only ever holds the records of the
+//! in-flight transaction:
+//!
+//! * the **lock-ahead log** (remote write set) is persisted *before* any
+//!   exclusive remote locking, so recovery knows which records to unlock
+//!   if the machine dies mid-transaction;
+//! * the **write-ahead log** (remote updates) is written *inside* the HTM
+//!   region together with the status word, so the all-or-nothing property
+//!   of HTM guarantees it exists iff `XEND` succeeded — exactly the
+//!   paper's trick;
+//! * a completion marker (status 0) is written after the write-backs.
+//!
+//! Each logged update carries the record's new version, which recovery
+//! uses to apply updates at-most-once (§4.6: "each record piggybacks a
+//! version to decide the order of updates").
+
+use drtm_htm::{vtime, Abort, HtmTxn, Region};
+use drtm_rdma::GlobalAddr;
+
+use crate::alloc_layout::LogSlotLayout;
+use crate::record::RecordAddr;
+
+/// Slot status: no in-flight transaction.
+pub const LOG_EMPTY: u64 = 0;
+/// Slot status: lock-ahead log valid (transaction not yet committed).
+pub const LOG_LOCK_AHEAD: u64 = 1;
+/// Slot status: write-ahead log valid (transaction committed).
+pub const LOG_WRITE_AHEAD: u64 = 2;
+
+/// One remote update in a write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedUpdate {
+    /// Record being updated.
+    pub rec: RecordAddr,
+    /// Version the record must carry after the update.
+    pub version: u32,
+    /// New value bytes.
+    pub value: Vec<u8>,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a>(&'a [u8], usize);
+
+impl Reader<'_> {
+    fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.0[self.1..self.1 + 2].try_into().expect("log"));
+        self.1 += 2;
+        v
+    }
+
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.0[self.1..self.1 + 4].try_into().expect("log"));
+        self.1 += 4;
+        v
+    }
+
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.0[self.1..self.1 + 8].try_into().expect("log"));
+        self.1 += 8;
+        v
+    }
+
+    fn bytes(&mut self, n: usize) -> &[u8] {
+        let v = &self.0[self.1..self.1 + n];
+        self.1 += n;
+        v
+    }
+}
+
+/// Encodes a record list: `n, n × (node, offset, value_cap)`.
+fn encode_addrs(recs: &[RecordAddr]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 + recs.len() * 18);
+    put_u16(&mut buf, recs.len() as u16);
+    for r in recs {
+        put_u16(&mut buf, r.addr.node);
+        put_u64(&mut buf, r.addr.offset as u64);
+        put_u64(&mut buf, r.value_cap as u64);
+    }
+    buf
+}
+
+fn decode_addrs(buf: &[u8]) -> Vec<RecordAddr> {
+    let mut r = Reader(buf, 0);
+    let n = r.u16() as usize;
+    (0..n)
+        .map(|_| {
+            let node = r.u16();
+            let offset = r.u64() as usize;
+            let cap = r.u64() as usize;
+            RecordAddr::new(GlobalAddr::new(node, offset), cap)
+        })
+        .collect()
+}
+
+fn encode_updates(ups: &[LoggedUpdate]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u16(&mut buf, ups.len() as u16);
+    for u in ups {
+        put_u16(&mut buf, u.rec.addr.node);
+        put_u64(&mut buf, u.rec.addr.offset as u64);
+        put_u64(&mut buf, u.rec.value_cap as u64);
+        put_u32(&mut buf, u.version);
+        put_u32(&mut buf, u.value.len() as u32);
+        buf.extend_from_slice(&u.value);
+    }
+    buf
+}
+
+fn decode_updates(buf: &[u8]) -> Vec<LoggedUpdate> {
+    let mut r = Reader(buf, 0);
+    let n = r.u16() as usize;
+    (0..n)
+        .map(|_| {
+            let node = r.u16();
+            let offset = r.u64() as usize;
+            let cap = r.u64() as usize;
+            let version = r.u32();
+            let len = r.u32() as usize;
+            let value = r.bytes(len).to_vec();
+            LoggedUpdate { rec: RecordAddr::new(GlobalAddr::new(node, offset), cap), version, value }
+        })
+        .collect()
+}
+
+/// Chopping information for a piece of a chopped parent transaction
+/// (§3, §4.6): enough for recovery to know where to resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChopInfo {
+    /// Application-defined parent-transaction kind.
+    pub kind: u16,
+    /// Index of the piece currently executing.
+    pub piece: u16,
+    /// Total pieces of the parent transaction.
+    pub total: u16,
+    /// Application-defined argument (e.g. TPC-C warehouse id).
+    pub arg: u16,
+}
+
+impl ChopInfo {
+    fn encode(&self) -> u64 {
+        1u64 << 63
+            | (self.kind as u64) << 48
+            | (self.piece as u64) << 32
+            | (self.total as u64) << 16
+            | self.arg as u64
+    }
+
+    fn decode(w: u64) -> Option<ChopInfo> {
+        if w >> 63 == 0 {
+            return None;
+        }
+        Some(ChopInfo {
+            kind: (w >> 48 & 0x7FFF) as u16,
+            piece: (w >> 32) as u16,
+            total: (w >> 16) as u16,
+            arg: w as u16,
+        })
+    }
+}
+
+/// Writer-side view of one worker's log slot.
+#[derive(Debug, Clone, Copy)]
+pub struct LogSlot {
+    layout: LogSlotLayout,
+    nvram_write_ns: u64,
+}
+
+impl LogSlot {
+    /// Creates a handle over the given slot layout.
+    pub fn new(layout: LogSlotLayout, nvram_write_ns: u64) -> Self {
+        LogSlot { layout, nvram_write_ns }
+    }
+
+    /// Persists the lock-ahead log (non-transactional: happens before the
+    /// HTM region, Figure 7 left).
+    pub fn log_lock_ahead(&self, region: &Region, remote_writes: &[RecordAddr]) {
+        let buf = encode_addrs(remote_writes);
+        assert!(buf.len() + 4 <= self.layout.lock_ahead_cap, "lock-ahead log overflow");
+        vtime::charge(self.nvram_write_ns);
+        region.write_nt(self.layout.lock_ahead_off, &(buf.len() as u32).to_le_bytes());
+        region.write_nt(self.layout.lock_ahead_off + 4, &buf);
+        region.write_u64_nt(self.layout.status_off, LOG_LOCK_AHEAD);
+    }
+
+    /// Stages the write-ahead log *inside* the HTM transaction: the log
+    /// bytes and the status word become visible atomically with `XEND`.
+    pub fn log_write_ahead(&self, txn: &mut HtmTxn<'_>, updates: &[LoggedUpdate]) -> Result<(), Abort> {
+        let buf = encode_updates(updates);
+        assert!(buf.len() + 4 <= self.layout.write_ahead_cap, "write-ahead log overflow");
+        vtime::charge(self.nvram_write_ns + buf.len() as u64 / 8);
+        txn.write(self.layout.write_ahead_off, &(buf.len() as u32).to_le_bytes())?;
+        txn.write(self.layout.write_ahead_off + 4, &buf)?;
+        txn.write_u64(self.layout.status_off, LOG_WRITE_AHEAD)
+    }
+
+    /// Fallback-path variant: the handler runs outside HTM and logs ahead
+    /// of its updates like a conventional system (§6.2).
+    pub fn log_write_ahead_nt(&self, region: &Region, updates: &[LoggedUpdate]) {
+        let buf = encode_updates(updates);
+        assert!(buf.len() + 4 <= self.layout.write_ahead_cap, "write-ahead log overflow");
+        vtime::charge(self.nvram_write_ns + buf.len() as u64 / 8);
+        region.write_nt(self.layout.write_ahead_off, &(buf.len() as u32).to_le_bytes());
+        region.write_nt(self.layout.write_ahead_off + 4, &buf);
+        region.write_u64_nt(self.layout.status_off, LOG_WRITE_AHEAD);
+    }
+
+    /// Marks the transaction fully written back (slot reusable).
+    pub fn log_done(&self, region: &Region) {
+        region.write_u64_nt(self.layout.status_off, LOG_EMPTY);
+    }
+
+    /// Persists chopping information ahead of a transaction piece
+    /// (Figure 7: "logs chopping information ... used to instruct DrTM
+    /// on which transaction piece to execute after recovery").
+    pub fn log_chop(&self, region: &Region, info: ChopInfo) {
+        vtime::charge(self.nvram_write_ns);
+        region.write_u64_nt(self.layout.chop_off, info.encode());
+    }
+
+    /// Clears the chopping information (parent transaction finished).
+    pub fn clear_chop(&self, region: &Region) {
+        region.write_u64_nt(self.layout.chop_off, 0);
+    }
+
+    /// Recovery-side read of pending chopping information.
+    pub fn read_chop(&self, region: &Region) -> Option<ChopInfo> {
+        ChopInfo::decode(region.read_u64_nt(self.layout.chop_off))
+    }
+
+    /// Recovery-side read of the slot status.
+    pub fn read_status(&self, region: &Region) -> u64 {
+        region.read_u64_nt(self.layout.status_off)
+    }
+
+    /// Recovery-side decode of the lock-ahead record list.
+    pub fn read_lock_ahead(&self, region: &Region) -> Vec<RecordAddr> {
+        let mut lenb = [0u8; 4];
+        region.read_nt(self.layout.lock_ahead_off, &mut lenb);
+        let len = u32::from_le_bytes(lenb) as usize;
+        let mut buf = vec![0u8; len];
+        region.read_nt(self.layout.lock_ahead_off + 4, &mut buf);
+        decode_addrs(&buf)
+    }
+
+    /// Recovery-side decode of the write-ahead updates.
+    pub fn read_write_ahead(&self, region: &Region) -> Vec<LoggedUpdate> {
+        let mut lenb = [0u8; 4];
+        region.read_nt(self.layout.write_ahead_off, &mut lenb);
+        let len = u32::from_le_bytes(lenb) as usize;
+        let mut buf = vec![0u8; len];
+        region.read_nt(self.layout.write_ahead_off + 4, &mut buf);
+        decode_updates(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_htm::HtmConfig;
+
+    fn slot() -> (Region, LogSlot) {
+        let region = Region::new(64 << 10);
+        let layout = LogSlotLayout {
+            status_off: 64,
+            chop_off: 72,
+            lock_ahead_off: 128,
+            lock_ahead_cap: 1024,
+            write_ahead_off: 2048,
+            write_ahead_cap: 8192,
+        };
+        (region, LogSlot::new(layout, 0))
+    }
+
+    fn rec(node: u16, off: usize) -> RecordAddr {
+        RecordAddr::new(GlobalAddr::new(node, off), 64)
+    }
+
+    #[test]
+    fn lock_ahead_roundtrip() {
+        let (region, slot) = slot();
+        let recs = vec![rec(1, 4096), rec(3, 8192)];
+        slot.log_lock_ahead(&region, &recs);
+        assert_eq!(slot.read_status(&region), LOG_LOCK_AHEAD);
+        assert_eq!(slot.read_lock_ahead(&region), recs);
+        slot.log_done(&region);
+        assert_eq!(slot.read_status(&region), LOG_EMPTY);
+    }
+
+    #[test]
+    fn write_ahead_is_atomic_with_htm_commit() {
+        let (region, slot) = slot();
+        let ups = vec![LoggedUpdate { rec: rec(2, 256), version: 7, value: b"abc".to_vec() }];
+        // Aborted transaction: no write-ahead log appears (Figure 7(a)).
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        slot.log_write_ahead(&mut txn, &ups).unwrap();
+        drop(txn); // abort
+        assert_eq!(slot.read_status(&region), LOG_EMPTY);
+        // Committed transaction: log and status appear together.
+        let mut txn = region.begin(&cfg);
+        slot.log_write_ahead(&mut txn, &ups).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(slot.read_status(&region), LOG_WRITE_AHEAD);
+        assert_eq!(slot.read_write_ahead(&region), ups);
+    }
+
+    #[test]
+    fn nt_write_ahead_for_fallback() {
+        let (region, slot) = slot();
+        let ups = vec![
+            LoggedUpdate { rec: rec(0, 128), version: 1, value: vec![9; 40] },
+            LoggedUpdate { rec: rec(5, 640), version: 2, value: vec![] },
+        ];
+        slot.log_write_ahead_nt(&region, &ups);
+        assert_eq!(slot.read_status(&region), LOG_WRITE_AHEAD);
+        assert_eq!(slot.read_write_ahead(&region), ups);
+    }
+
+    #[test]
+    fn chop_info_roundtrips_and_clears() {
+        let (region, slot) = slot();
+        assert_eq!(slot.read_chop(&region), None);
+        let info = ChopInfo { kind: 3, piece: 4, total: 10, arg: 7 };
+        slot.log_chop(&region, info);
+        assert_eq!(slot.read_chop(&region), Some(info));
+        slot.clear_chop(&region);
+        assert_eq!(slot.read_chop(&region), None);
+        // Piece 0 of kind 0 is still distinguishable from "no info".
+        slot.log_chop(&region, ChopInfo { kind: 0, piece: 0, total: 1, arg: 0 });
+        assert!(slot.read_chop(&region).is_some());
+    }
+
+    #[test]
+    fn empty_sets_encode() {
+        let (region, slot) = slot();
+        slot.log_lock_ahead(&region, &[]);
+        assert!(slot.read_lock_ahead(&region).is_empty());
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        slot.log_write_ahead(&mut txn, &[]).unwrap();
+        txn.commit().unwrap();
+        assert!(slot.read_write_ahead(&region).is_empty());
+    }
+}

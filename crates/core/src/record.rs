@@ -1,0 +1,467 @@
+//! Record-level protocol operations (Figures 5 and 6).
+//!
+//! Remote records are locked and fetched with one-sided RDMA CAS + READ
+//! before the HTM region starts; local records are checked against the
+//! state word *inside* the HTM region, with an explicit abort when a
+//! remote transaction holds the record. Together these implement the
+//! hybrid HTM + 2PL concurrency control of §4.
+
+use drtm_htm::{Abort, HtmTxn};
+use drtm_memstore::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
+use drtm_rdma::{GlobalAddr, Qp};
+
+use crate::state::{LockState, INIT};
+
+/// Explicit-abort code: local access found the record write-locked.
+pub const ABORT_LOCKED: u8 = 0x10;
+/// Explicit-abort code: local write found an unexpired read lease.
+pub const ABORT_LEASED: u8 = 0x11;
+/// Explicit-abort code: lease confirmation failed at commit.
+pub const ABORT_LEASE_EXPIRED: u8 = 0x12;
+
+/// A resolved record: the global address of its entry plus the table's
+/// fixed value capacity (the size of one-sided fetches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordAddr {
+    /// Global address of the entry's first byte (the state word).
+    pub addr: GlobalAddr,
+    /// Value capacity of the owning table.
+    pub value_cap: usize,
+}
+
+impl RecordAddr {
+    /// Creates a record handle.
+    pub fn new(addr: GlobalAddr, value_cap: usize) -> Self {
+        RecordAddr { addr, value_cap }
+    }
+
+    fn state_addr(&self) -> GlobalAddr {
+        self.addr
+    }
+
+    /// Bytes of one full-entry fetch.
+    fn fetch_len(&self) -> usize {
+        ENTRY_HEADER_BYTES + self.value_cap
+    }
+}
+
+/// Why a remote lock/lease acquisition failed (the transaction must
+/// release everything it holds and retry — §4.3's ABORT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockConflict {
+    /// Another machine holds the exclusive lock.
+    WriteLocked {
+        /// The owner machine recorded in the state word.
+        owner: u8,
+    },
+    /// An unexpired read lease blocks the write lock.
+    Leased {
+        /// The lease end time in µs.
+        end_us: u64,
+    },
+    /// The lease is in the ±delta ambiguity window; conservatively
+    /// treated as a conflict.
+    Ambiguous,
+}
+
+/// A remote record fetched during the Start phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchedRecord {
+    /// The record's entry header as fetched.
+    pub header: EntryHeader,
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// For shared locks: the lease end this reader is covered by.
+    pub lease_end_us: u64,
+}
+
+impl FetchedRecord {
+    /// Placeholder used by the fallback handler's scatter buffers.
+    pub(crate) fn empty() -> FetchedRecord {
+        FetchedRecord { header: EntryHeader::default(), value: Vec::new(), lease_end_us: 0 }
+    }
+}
+
+/// Issues the state-word CAS either through the NIC (one-sided RDMA) or
+/// the CPU (only sound under `IBV_ATOMIC_GLOB`, §6.3).
+#[inline]
+fn state_cas(qp: &Qp, rec: &RecordAddr, expected: u64, desired: u64, local: bool) -> u64 {
+    if local {
+        qp.local_cas_u64(rec.addr.offset, expected, desired)
+    } else {
+        qp.cas_u64(rec.addr, expected, desired)
+    }
+}
+
+fn fetch_entry(qp: &Qp, rec: &RecordAddr) -> (EntryHeader, Vec<u8>) {
+    let mut buf = vec![0u8; rec.fetch_len()];
+    qp.read(rec.addr, &mut buf);
+    let h = EntryHeader::decode(&buf[..ENTRY_HEADER_BYTES]);
+    let len = (h.value_len as usize).min(rec.value_cap);
+    (h, buf[ENTRY_HEADER_BYTES..ENTRY_HEADER_BYTES + len].to_vec())
+}
+
+/// `REMOTE_READ` (Figure 5): acquire (or share) a read lease ending at
+/// `end_us`, then fetch the record.
+///
+/// * state INIT → CAS installs the lease;
+/// * valid lease by someone else → share it (no write to the state word,
+///   hence no false abort of local readers in this case);
+/// * expired lease → CAS reclaims it with the new end time;
+/// * write-locked → conflict.
+pub fn remote_read(
+    qp: &Qp,
+    rec: &RecordAddr,
+    end_us: u64,
+    now_us: u64,
+    delta_us: u64,
+) -> Result<FetchedRecord, LockConflict> {
+    remote_read_via(qp, rec, end_us, now_us, delta_us, false)
+}
+
+/// [`remote_read`] with an explicit CAS path: `local_cas = true` uses the
+/// CPU CAS (fallback handler / read-only transactions on a GLOB NIC).
+pub fn remote_read_via(
+    qp: &Qp,
+    rec: &RecordAddr,
+    end_us: u64,
+    now_us: u64,
+    delta_us: u64,
+    local_cas: bool,
+) -> Result<FetchedRecord, LockConflict> {
+    let desired = LockState::leased(end_us).0;
+    let mut expected = INIT;
+    let lease_end;
+    loop {
+        let old = state_cas(qp, rec, expected, desired, local_cas);
+        if old == expected {
+            lease_end = end_us;
+            break;
+        }
+        let st = LockState(old);
+        if st.is_write_locked() {
+            return Err(LockConflict::WriteLocked { owner: st.owner() });
+        }
+        if st.lease_valid(now_us, delta_us) {
+            lease_end = st.lease_end_us();
+            break;
+        }
+        if st.lease_expired(now_us, delta_us) {
+            expected = old;
+            continue;
+        }
+        return Err(LockConflict::Ambiguous);
+    }
+    let (header, value) = fetch_entry(qp, rec);
+    Ok(FetchedRecord { header, value, lease_end_us: lease_end })
+}
+
+/// The locking half of `REMOTE_WRITE` (Figure 5): acquire the exclusive
+/// lock as machine `owner`, then fetch the record (its version is needed
+/// for the write-back).
+pub fn remote_lock_write(
+    qp: &Qp,
+    rec: &RecordAddr,
+    owner: u8,
+    now_us: u64,
+    delta_us: u64,
+) -> Result<FetchedRecord, LockConflict> {
+    remote_lock_write_via(qp, rec, owner, now_us, delta_us, false)
+}
+
+/// [`remote_lock_write`] with an explicit CAS path (see
+/// [`remote_read_via`]).
+pub fn remote_lock_write_via(
+    qp: &Qp,
+    rec: &RecordAddr,
+    owner: u8,
+    now_us: u64,
+    delta_us: u64,
+    local_cas: bool,
+) -> Result<FetchedRecord, LockConflict> {
+    let desired = LockState::write_locked(owner).0;
+    let mut expected = INIT;
+    loop {
+        let old = state_cas(qp, rec, expected, desired, local_cas);
+        if old == expected {
+            break;
+        }
+        let st = LockState(old);
+        if st.is_write_locked() {
+            return Err(LockConflict::WriteLocked { owner: st.owner() });
+        }
+        if st.lease_valid(now_us, delta_us) {
+            return Err(LockConflict::Leased { end_us: st.lease_end_us() });
+        }
+        if st.lease_expired(now_us, delta_us) {
+            expected = old;
+            continue;
+        }
+        return Err(LockConflict::Ambiguous);
+    }
+    let (header, value) = fetch_entry(qp, rec);
+    Ok(FetchedRecord { header, value, lease_end_us: 0 })
+}
+
+/// `REMOTE_WRITE_BACK` (Figure 5): push the committed update (version,
+/// length, value) with one-sided WRITEs, then release the exclusive lock
+/// by writing INIT to the state word.
+///
+/// The value lands *before* the unlock so no reader can observe the new
+/// state word with the old value.
+pub fn remote_write_back(qp: &Qp, rec: &RecordAddr, new_version: u32, value: &[u8]) {
+    debug_assert!(value.len() <= rec.value_cap, "value exceeds table capacity");
+    let a = rec.addr;
+    qp.write(GlobalAddr::new(a.node, a.offset + 12), &new_version.to_le_bytes());
+    // Length, padding and value are contiguous: one WRITE covers them.
+    let mut buf = Vec::with_capacity(8 + value.len());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(value);
+    qp.write(GlobalAddr::new(a.node, a.offset + 24), &buf);
+    qp.write_u64(rec.state_addr(), INIT);
+}
+
+/// Releases an exclusive lock without writing data (the ABORT path).
+pub fn remote_unlock(qp: &Qp, rec: &RecordAddr) {
+    qp.write_u64(rec.state_addr(), INIT);
+}
+
+/// [`remote_unlock`] with an explicit path: a local release is a plain
+/// coherent store.
+pub fn remote_unlock_via(qp: &Qp, rec: &RecordAddr, local: bool) {
+    if local {
+        qp.cluster().node(rec.addr.node).region().write_u64_nt(rec.addr.offset, INIT);
+    } else {
+        qp.write_u64(rec.state_addr(), INIT);
+    }
+}
+
+/// [`remote_write_back`] with an explicit path: the fallback handler
+/// applies local updates with coherent stores instead of loopback RDMA.
+pub fn remote_write_back_via(qp: &Qp, rec: &RecordAddr, new_version: u32, value: &[u8], local: bool) {
+    if local {
+        let region = qp.cluster().node(rec.addr.node).region();
+        region.write_nt(rec.addr.offset + 12, &new_version.to_le_bytes());
+        region.write_nt(rec.addr.offset + 24, &(value.len() as u32).to_le_bytes());
+        region.write_nt(rec.addr.offset + ENTRY_HEADER_BYTES, value);
+        region.write_u64_nt(rec.addr.offset, INIT);
+    } else {
+        remote_write_back(qp, rec, new_version, value);
+    }
+}
+
+/// `LOCAL_READ` (Figure 6): inside the HTM region, check the state word
+/// (abort if write-locked; leases are overlooked — HTM protects the
+/// read) and read the value.
+pub fn local_read(
+    txn: &mut HtmTxn<'_>,
+    entry_off: usize,
+) -> Result<(EntryHeader, Vec<u8>), Abort> {
+    let entry = Entry::at(entry_off);
+    let h = entry.read_header(txn)?;
+    if LockState(h.state).is_write_locked() {
+        return Err(Abort::Explicit(ABORT_LOCKED));
+    }
+    let v = entry.read_value(txn)?;
+    Ok((h, v))
+}
+
+/// `LOCAL_WRITE` (Figure 6): inside the HTM region, check both lock
+/// kinds, actively clear an expired lease (adding the state to the HTM
+/// write set — deliberately not done for reads to avoid false aborts),
+/// then write the value and bump the version.
+pub fn local_write(
+    txn: &mut HtmTxn<'_>,
+    entry_off: usize,
+    value: &[u8],
+    now_us: u64,
+    delta_us: u64,
+) -> Result<(), Abort> {
+    let entry = Entry::at(entry_off);
+    let h = entry.read_header(txn)?;
+    let st = LockState(h.state);
+    if st.is_write_locked() {
+        return Err(Abort::Explicit(ABORT_LOCKED));
+    }
+    if st.lease_valid(now_us, delta_us) {
+        return Err(Abort::Explicit(ABORT_LEASED));
+    }
+    if !st.is_init() {
+        if !st.lease_expired(now_us, delta_us) {
+            // Ambiguity window around the lease end.
+            return Err(Abort::Explicit(ABORT_LEASED));
+        }
+        txn.write_u64(entry_off, INIT)?;
+    }
+    entry.write_value(txn, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_htm::HtmConfig;
+    use drtm_memstore::{Arena, ClusterHash};
+    use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile};
+    use std::sync::Arc;
+
+    const DELTA: u64 = 10;
+
+    fn setup() -> (Arc<Cluster>, ClusterHash, RecordAddr) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 4 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let mut arena = Arena::new(64, (4 << 20) - 64);
+        let table = ClusterHash::create(&mut arena, 0, 16, 100, 32);
+        let exec = drtm_htm::Executor::new(HtmConfig::default(), Arc::new(drtm_htm::HtmStats::new()));
+        table.insert(&exec, cluster.node(0).region(), 1, b"v0").unwrap();
+        let qp = cluster.qp(1);
+        let addr = match table.remote_lookup(&qp, 1) {
+            drtm_memstore::LookupResult::Found { addr, .. } => addr,
+            _ => panic!("populated"),
+        };
+        let rec = RecordAddr::new(addr, 32);
+        (cluster, table, rec)
+    }
+
+    #[test]
+    fn read_lease_then_share() {
+        let (cluster, _t, rec) = setup();
+        let qp = cluster.qp(1);
+        let r1 = remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap();
+        assert_eq!(r1.value, b"v0");
+        assert_eq!(r1.lease_end_us, 5000);
+        // Second reader shares the existing lease (keeps its end).
+        let cas_before = cluster.counters().snapshot().cas;
+        let r2 = remote_read(&qp, &rec, 7000, 1000, DELTA).unwrap();
+        assert_eq!(r2.lease_end_us, 5000);
+        assert_eq!(cluster.counters().snapshot().cas, cas_before + 1, "share = one failed CAS");
+    }
+
+    #[test]
+    fn expired_lease_reclaimed_by_reader_and_writer() {
+        let (cluster, _t, rec) = setup();
+        let qp = cluster.qp(1);
+        remote_read(&qp, &rec, 2000, 1000, DELTA).unwrap();
+        // Reader after expiry installs a fresh lease.
+        let r = remote_read(&qp, &rec, 9000, 5000, DELTA).unwrap();
+        assert_eq!(r.lease_end_us, 9000);
+        // Writer after expiry takes the exclusive lock.
+        let w = remote_lock_write(&qp, &rec, 3, 20_000, DELTA).unwrap();
+        assert_eq!(w.value, b"v0");
+        let st = LockState(qp.read_u64(rec.addr));
+        assert!(st.is_write_locked());
+        assert_eq!(st.owner(), 3);
+    }
+
+    #[test]
+    fn lease_blocks_writer_and_lock_blocks_everyone() {
+        let (cluster, _t, rec) = setup();
+        let qp = cluster.qp(1);
+        remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap();
+        assert_eq!(
+            remote_lock_write(&qp, &rec, 3, 1000, DELTA),
+            Err(LockConflict::Leased { end_us: 5000 })
+        );
+        // Take the lock (after expiry) and verify readers/writers bounce.
+        remote_lock_write(&qp, &rec, 3, 20_000, DELTA).unwrap();
+        assert_eq!(
+            remote_read(&qp, &rec, 30_000, 25_000, DELTA),
+            Err(LockConflict::WriteLocked { owner: 3 })
+        );
+        assert_eq!(
+            remote_lock_write(&qp, &rec, 4, 25_000, DELTA),
+            Err(LockConflict::WriteLocked { owner: 3 })
+        );
+    }
+
+    #[test]
+    fn write_back_updates_and_unlocks() {
+        let (cluster, table, rec) = setup();
+        let qp = cluster.qp(1);
+        let w = remote_lock_write(&qp, &rec, 3, 1000, DELTA).unwrap();
+        remote_write_back(&qp, &rec, w.header.version + 1, b"new value!");
+        let st = LockState(qp.read_u64(rec.addr));
+        assert!(st.is_init());
+        // Visible to local reads.
+        let region = cluster.node(0).region();
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        assert_eq!(e.read_value(&mut txn).unwrap(), b"new value!");
+        let (h, _) = local_read(&mut txn, e.offset).unwrap();
+        assert_eq!(h.version, w.header.version + 1);
+    }
+
+    #[test]
+    fn abort_unlock_restores_init() {
+        let (cluster, _t, rec) = setup();
+        let qp = cluster.qp(1);
+        remote_lock_write(&qp, &rec, 9, 1000, DELTA).unwrap();
+        remote_unlock(&qp, &rec);
+        assert!(LockState(qp.read_u64(rec.addr)).is_init());
+    }
+
+    #[test]
+    fn local_read_aborts_on_write_lock_but_ignores_lease() {
+        let (cluster, table, rec) = setup();
+        let qp = cluster.qp(1);
+        let region = cluster.node(0).region();
+        let cfg = HtmConfig::default();
+        // Leased: local read proceeds (HTM protects it).
+        remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap();
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        assert!(local_read(&mut txn, e.offset).is_ok());
+        drop(txn);
+        // Write-locked: local read explicitly aborts.
+        remote_lock_write(&qp, &rec, 2, 20_000, DELTA).unwrap();
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        assert_eq!(local_read(&mut txn, e.offset), Err(Abort::Explicit(ABORT_LOCKED)));
+    }
+
+    #[test]
+    fn local_write_respects_lease_and_clears_expired() {
+        let (cluster, table, rec) = setup();
+        let qp = cluster.qp(1);
+        let region = cluster.node(0).region();
+        let cfg = HtmConfig::default();
+        remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap();
+        // Valid lease blocks the local write.
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        assert_eq!(
+            local_write(&mut txn, e.offset, b"w", 1000, DELTA),
+            Err(Abort::Explicit(ABORT_LEASED))
+        );
+        drop(txn);
+        // Expired lease is actively cleared and the write proceeds.
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        local_write(&mut txn, e.offset, b"w", 20_000, DELTA).unwrap();
+        txn.commit().unwrap();
+        assert!(LockState(qp.read_u64(rec.addr)).is_init(), "expired lease cleared");
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        assert_eq!(local_read(&mut txn, e.offset).unwrap().1, b"w");
+    }
+
+    #[test]
+    fn remote_cas_aborts_local_reader_false_conflict() {
+        // Table 2's single false conflict: R RD writes the state word a
+        // local reader has in its read set (Figure 2(b)).
+        let (cluster, table, rec) = setup();
+        let qp = cluster.qp(1);
+        let region = cluster.node(0).region();
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        let e = table.get_local(&mut txn, 1).unwrap().unwrap();
+        local_read(&mut txn, e.offset).unwrap();
+        remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap(); // CAS installs lease
+        assert_eq!(txn.commit(), Err(Abort::Conflict));
+    }
+}

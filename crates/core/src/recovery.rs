@@ -1,0 +1,110 @@
+//! Crash recovery from NVRAM logs (§4.6, Figure 7 right).
+//!
+//! A surviving machine (notified by the failure-detection service, which
+//! the paper delegates to Zookeeper) inspects the crashed machine's NVRAM
+//! log slots — reachable because the region itself is durable under
+//! flush-on-failure — and repairs cluster state:
+//!
+//! * **write-ahead log present** — the transaction committed its HTM
+//!   region, so it must *eventually commit*: redo every remote update
+//!   whose version has not landed yet, and release any exclusive lock
+//!   still held by the crashed machine (Figure 7(b)).
+//! * **only lock-ahead log present** — the transaction did not commit:
+//!   release every remote record still exclusively locked by the crashed
+//!   machine (Figure 7(a)); versions prove no update was applied.
+//!
+//! Updates are applied at-most-once by comparing the logged version with
+//! the record's current version — the ordering role §4.6 assigns to the
+//! per-record version.
+
+use drtm_rdma::{Cluster, NodeId};
+
+use crate::alloc_layout::NodeLayout;
+use crate::log::{LogSlot, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
+use crate::record::{self, RecordAddr};
+use crate::state::LockState;
+
+/// Summary of one recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chopped parent transactions that must resume: one entry per
+    /// worker slot with pending chopping information (Figure 7).
+    pub pending_pieces: Vec<crate::log::ChopInfo>,
+    /// Committed transactions whose remote updates were redone.
+    pub redone_txns: u64,
+    /// Individual remote updates (re)applied.
+    pub redone_updates: u64,
+    /// Updates skipped because the version showed they already landed.
+    pub skipped_updates: u64,
+    /// Exclusive locks released on behalf of the crashed machine.
+    pub released_locks: u64,
+    /// Uncommitted transactions rolled back (locks released only).
+    pub rolled_back_txns: u64,
+}
+
+/// Recovers the cluster after `crashed` failed, driving repairs from
+/// machine `via`. Returns what was done.
+///
+/// Idempotent: a second pass over the same logs is a no-op, so recovery
+/// itself may crash and be re-run.
+pub fn recover_node(
+    cluster: &std::sync::Arc<Cluster>,
+    crashed: NodeId,
+    layout: &NodeLayout,
+    via: NodeId,
+) -> RecoveryReport {
+    let qp = cluster.qp(via);
+    let region = cluster.node(crashed).region();
+    let mut report = RecoveryReport::default();
+
+    let release_if_owned = |rec: &RecordAddr, report: &mut RecoveryReport| {
+        let st = LockState(qp.read_u64(rec.addr));
+        if st.is_write_locked() && st.owner() == crashed as u8 {
+            // CAS so a concurrent release cannot be clobbered.
+            if qp.cas_u64(rec.addr, st.0, crate::state::INIT) == st.0 {
+                report.released_locks += 1;
+            }
+        }
+    };
+
+    for slot_layout in &layout.log_slots {
+        let slot = LogSlot::new(*slot_layout, 0);
+        if let Some(info) = slot.read_chop(region) {
+            report.pending_pieces.push(info);
+        }
+        match slot.read_status(region) {
+            LOG_WRITE_AHEAD => {
+                report.redone_txns += 1;
+                for u in slot.read_write_ahead(region) {
+                    let mut vb = [0u8; 4];
+                    let mut tmp = vec![0u8; 4];
+                    qp.read(
+                        drtm_rdma::GlobalAddr::new(u.rec.addr.node, u.rec.addr.offset + 12),
+                        &mut tmp,
+                    );
+                    vb.copy_from_slice(&tmp);
+                    let cur = u32::from_le_bytes(vb);
+                    // Versions increase monotonically; wrapping_sub keeps
+                    // the comparison valid across u32 wrap.
+                    if cur.wrapping_sub(u.version) as i32 >= 0 {
+                        report.skipped_updates += 1;
+                        release_if_owned(&u.rec, &mut report);
+                    } else {
+                        record::remote_write_back(&qp, &u.rec, u.version, &u.value);
+                        report.redone_updates += 1;
+                    }
+                }
+                slot.log_done(region);
+            }
+            LOG_LOCK_AHEAD => {
+                report.rolled_back_txns += 1;
+                for rec in slot.read_lock_ahead(region) {
+                    release_if_owned(&rec, &mut report);
+                }
+                slot.log_done(region);
+            }
+            _ => {}
+        }
+    }
+    report
+}

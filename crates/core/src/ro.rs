@@ -1,0 +1,272 @@
+//! Read-only transactions (§4.5, Figure 8).
+//!
+//! Read-only transactions often touch hundreds of records and would blow
+//! the HTM capacity, so DrTM executes them *without* HTM: every record is
+//! lease-locked in shared mode with the **same** end time and fetched;
+//! at the end a single softtime comparison against that common end time
+//! confirms that all leases were still valid — replacing the two-round
+//! re-execution of OCC-style schemes with one check.
+//!
+//! Because the read set of scans (TPC-C order-status/stock-level) is not
+//! known in advance, [`RoCtx`] exposes incremental acquisition plus
+//! validated standalone B+-tree scans.
+
+use drtm_htm::{Abort, HtmTxn};
+use drtm_memstore::BTree;
+
+use crate::record::{self, RecordAddr};
+use crate::time::softtime_nt;
+use crate::txn::Worker;
+
+/// Internal signal: a record was locked or a lease could not be acquired;
+/// the read-only transaction restarts with a fresh end time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoRestart;
+
+/// Context for one attempt of a read-only transaction.
+pub struct RoCtx<'w> {
+    worker: &'w Worker,
+    /// Common lease end time of this attempt.
+    pub end_us: u64,
+    now_us: u64,
+    delta_us: u64,
+    /// Smallest lease end actually covering this attempt (shared leases
+    /// may end earlier than `end_us`).
+    min_end_us: u64,
+}
+
+impl RoCtx<'_> {
+    /// The underlying worker (for key resolution against its caches).
+    pub fn worker(&self) -> &Worker {
+        self.worker
+    }
+
+    /// Lease-locks `rec` in shared mode and returns its value.
+    ///
+    /// Local records go through the same CAS path as remote ones unless
+    /// the NIC provides GLOB-level atomics (§6.3).
+    pub fn acquire(&mut self, rec: &RecordAddr) -> Result<Vec<u8>, RoRestart> {
+        let local = self.worker.can_local_cas_pub(rec);
+        match record::remote_read_via(self.worker.qp(), rec, self.end_us, self.now_us, self.delta_us, local)
+        {
+            Ok(f) => {
+                self.min_end_us = self.min_end_us.min(f.lease_end_us);
+                Ok(f.value)
+            }
+            Err(_) => Err(RoRestart),
+        }
+    }
+
+    /// Runs a validated standalone read transaction against local stores
+    /// (tree scans and lookups for discovering the read set).
+    pub fn local_scan<T>(
+        &self,
+        mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>,
+    ) -> T {
+        let region = self.worker.region().clone();
+        loop {
+            let mut txn = region.begin(self.worker.executor().config());
+            if let Ok(v) = f(&mut txn) {
+                if txn.commit().is_ok() {
+                    return v;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Convenience: validated B+ tree range scan.
+    pub fn tree_scan(&self, tree: &BTree, lo: u64, hi: u64, max: usize) -> Vec<(u64, u64)> {
+        self.local_scan(|txn| tree.scan_range(txn, lo, hi, max))
+    }
+
+    /// Convenience: validated B+ tree max-in-range.
+    pub fn tree_max_in_range(&self, tree: &BTree, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        self.local_scan(|txn| tree.max_in_range(txn, lo, hi))
+    }
+
+    /// Convenience: validated B+ tree point lookup.
+    pub fn tree_get(&self, tree: &BTree, key: u64) -> Option<u64> {
+        self.local_scan(|txn| tree.get(txn, key))
+    }
+}
+
+impl Worker {
+    pub(crate) fn can_local_cas_pub(&self, rec: &RecordAddr) -> bool {
+        self.can_local_cas_inner(rec)
+    }
+
+    /// Executes a read-only transaction (Figure 8): the body acquires
+    /// leases and performs scans; afterwards all leases are confirmed
+    /// with one softtime read. Retries with a fresh end time until the
+    /// confirmation succeeds.
+    pub fn read_only<T>(
+        &mut self,
+        mut body: impl FnMut(&mut RoCtx<'_>) -> Result<T, RoRestart>,
+    ) -> T {
+        let region = self.region().clone();
+        loop {
+            let now = softtime_nt(&region);
+            let cfg = self.system().config();
+            let mut ctx = RoCtx {
+                worker: self,
+                end_us: now + cfg.ro_lease_us,
+                now_us: now,
+                delta_us: cfg.delta_us,
+                min_end_us: u64::MAX,
+            };
+            match body(&mut ctx) {
+                Ok(v) => {
+                    let min_end = ctx.min_end_us;
+                    let confirm = softtime_nt(&region);
+                    let delta = self.system().config().delta_us;
+                    if min_end == u64::MAX || confirm + delta <= min_end {
+                        self.system().stats().add_ro_committed();
+                        return v;
+                    }
+                    self.system().stats().add_ro_retry();
+                }
+                Err(RoRestart) => {
+                    self.system().stats().add_ro_retry();
+                    self.ro_backoff();
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper: read a fixed, pre-resolved record set.
+    ///
+    /// The lease CASes and fetches are posted together, so the exposed
+    /// latency is doorbell-batched like the Start phase.
+    pub fn read_only_records(&mut self, recs: &[RecordAddr]) -> Vec<Vec<u8>> {
+        let recs = recs.to_vec();
+        self.read_only(move |ctx| {
+            let (out, spent) =
+                drtm_htm::vtime::measure(|| recs.iter().map(|r| ctx.acquire(r)).collect());
+            drtm_htm::vtime::doorbell_batch(spent, recs.len());
+            out
+        })
+    }
+
+    fn ro_backoff(&mut self) {
+        self.backoff_pub(4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_layout::NodeLayout;
+    use crate::config::DrTmConfig;
+    use crate::time::SoftTimer;
+    use crate::txn::{DrTm, TxnSpec};
+    use drtm_htm::{Executor, HtmConfig, HtmStats};
+    use drtm_memstore::{Arena, BTree, ClusterHash, LookupResult};
+    use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile};
+    use std::sync::Arc;
+
+    fn setup() -> (std::sync::Arc<DrTm>, Arc<ClusterHash>, Arc<BTree>, SoftTimer) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 8 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let mut layouts = Vec::new();
+        let mut table = None;
+        let mut tree = None;
+        for n in 0..2u16 {
+            let mut arena = Arena::new(0, 8 << 20);
+            layouts.push(NodeLayout::reserve(&mut arena, 1));
+            let t = ClusterHash::create(&mut arena, n, 64, 200, 8);
+            let tr = BTree::create(&mut arena, cluster.node(n).region(), n, 256);
+            let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
+            for k in 0..50u64 {
+                t.insert(&exec, cluster.node(n).region(), k, &(k * 10).to_le_bytes()).unwrap();
+                if n == 0 {
+                    loop {
+                        let mut txn = cluster.node(0).region().begin(exec.config());
+                        if tr.insert(&mut txn, k, k * 100).is_ok() && txn.commit().is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }
+            if n == 0 {
+                table = Some(Arc::new(t));
+                tree = Some(Arc::new(tr));
+            }
+        }
+        let timer = SoftTimer::start(cluster.clone(), std::time::Duration::from_micros(200));
+        let sys = DrTm::new(cluster, DrTmConfig::default(), layouts);
+        (sys, table.expect("node 0 table"), tree.expect("node 0 tree"), timer)
+    }
+
+    fn rec_of(sys: &std::sync::Arc<DrTm>, table: &ClusterHash, key: u64) -> RecordAddr {
+        let qp = sys.cluster().qp(1);
+        match table.remote_lookup(&qp, key) {
+            LookupResult::Found { addr, .. } => RecordAddr::new(addr, 8),
+            _ => panic!("populated"),
+        }
+    }
+
+    #[test]
+    fn ro_scans_discover_then_lease() {
+        // The order-status pattern: scan an index to find the record set,
+        // then lease-read the records.
+        let (sys, table, tree, _t) = setup();
+        let mut w = sys.worker(0, 0);
+        let table2 = table.clone();
+        let got = w.read_only(|ctx| {
+            let pairs = ctx.tree_scan(&tree, 10, 12, 10);
+            let mut sum = 0u64;
+            for (k, v) in pairs {
+                assert_eq!(v, k * 100);
+                let rec = rec_of(ctx.worker().system(), &table2, k);
+                sum += u64::from_le_bytes(ctx.acquire(&rec)?[..8].try_into().unwrap());
+            }
+            Ok(sum)
+        });
+        assert_eq!(got, 10 * 10 + 11 * 10 + 12 * 10);
+        assert_eq!(sys.stats().snapshot().ro_committed, 1);
+    }
+
+    #[test]
+    fn ro_restarts_when_record_is_locked() {
+        let (sys, table, _tree, _t) = setup();
+        let rec = rec_of(&sys, &table, 5);
+        // A remote writer holds the record briefly.
+        let qp = sys.cluster().qp(1);
+        let now = crate::time::softtime_nt(sys.cluster().node(1).region());
+        crate::record::remote_lock_write(&qp, &rec, 1, now, 100).unwrap();
+        let sys2 = sys.clone();
+        let unlocker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            crate::record::remote_unlock(&sys2.cluster().qp(1), &rec);
+        });
+        let mut w = sys.worker(0, 0);
+        let v = w.read_only_records(&[rec]);
+        assert_eq!(u64::from_le_bytes(v[0][..8].try_into().unwrap()), 50);
+        unlocker.join().unwrap();
+        assert!(sys.stats().snapshot().ro_retries > 0, "the RO txn had to restart");
+    }
+
+    #[test]
+    fn ro_and_rw_interleave_correctly() {
+        let (sys, table, _tree, _t) = setup();
+        let rec = rec_of(&sys, &table, 7);
+        // RW transaction on node 1 updates the record; RO on node 0 must
+        // see either the old or the new value, never garbage.
+        let mut rw = sys.worker(1, 0);
+        let spec = TxnSpec { remote_writes: vec![rec], ..Default::default() };
+        rw.execute(&spec, |ctx| {
+            let v = u64::from_le_bytes(ctx.remote_write_cur(0)[..8].try_into().unwrap());
+            ctx.remote_write(0, (v + 1).to_le_bytes().to_vec());
+            Ok(())
+        })
+        .unwrap();
+        let mut ro = sys.worker(0, 0);
+        let v = ro.read_only_records(&[rec]);
+        assert_eq!(u64::from_le_bytes(v[0][..8].try_into().unwrap()), 71);
+    }
+}

@@ -1,0 +1,119 @@
+//! Transaction-layer counters (beyond the HTM-level [`drtm_htm::HtmStats`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cluster-wide transaction outcome counters.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    committed: AtomicU64,
+    fallback_committed: AtomicU64,
+    user_aborts: AtomicU64,
+    start_conflicts: AtomicU64,
+    lease_confirm_fails: AtomicU64,
+    ro_committed: AtomicU64,
+    ro_retries: AtomicU64,
+}
+
+/// Point-in-time copy of [`TxnStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStatsSnapshot {
+    /// Read-write transactions committed (HTM or fallback path).
+    pub committed: u64,
+    /// Of those, how many committed via the 2PL fallback handler.
+    pub fallback_committed: u64,
+    /// Transactions ended by a user-initiated abort.
+    pub user_aborts: u64,
+    /// Start-phase restarts due to remote lock/lease conflicts.
+    pub start_conflicts: u64,
+    /// Commit-time lease confirmations that failed (expired lease).
+    pub lease_confirm_fails: u64,
+    /// Read-only transactions committed.
+    pub ro_committed: u64,
+    /// Read-only transaction retries (confirmation failures).
+    pub ro_retries: u64,
+}
+
+impl TxnStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_committed(&self, fallback: bool) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        if fallback {
+            self.fallback_committed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_user_abort(&self) {
+        self.user_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_start_conflict(&self) {
+        self.start_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_lease_confirm_fail(&self) {
+        self.lease_confirm_fails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_ro_committed(&self) {
+        self.ro_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_ro_retry(&self) {
+        self.ro_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            committed: self.committed.load(Ordering::Relaxed),
+            fallback_committed: self.fallback_committed.load(Ordering::Relaxed),
+            user_aborts: self.user_aborts.load(Ordering::Relaxed),
+            start_conflicts: self.start_conflicts.load(Ordering::Relaxed),
+            lease_confirm_fails: self.lease_confirm_fails.load(Ordering::Relaxed),
+            ro_committed: self.ro_committed.load(Ordering::Relaxed),
+            ro_retries: self.ro_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.committed.store(0, Ordering::Relaxed);
+        self.fallback_committed.store(0, Ordering::Relaxed);
+        self.user_aborts.store(0, Ordering::Relaxed);
+        self.start_conflicts.store(0, Ordering::Relaxed);
+        self.lease_confirm_fails.store(0, Ordering::Relaxed);
+        self.ro_committed.store(0, Ordering::Relaxed);
+        self.ro_retries.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip() {
+        let s = TxnStats::new();
+        s.add_committed(false);
+        s.add_committed(true);
+        s.add_user_abort();
+        s.add_start_conflict();
+        s.add_lease_confirm_fail();
+        s.add_ro_committed();
+        s.add_ro_retry();
+        let snap = s.snapshot();
+        assert_eq!(snap.committed, 2);
+        assert_eq!(snap.fallback_committed, 1);
+        assert_eq!(snap.user_aborts, 1);
+        assert_eq!(snap.start_conflicts, 1);
+        assert_eq!(snap.lease_confirm_fails, 1);
+        assert_eq!(snap.ro_committed, 1);
+        assert_eq!(snap.ro_retries, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), TxnStatsSnapshot::default());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the software HTM against a reference model.
+//!
+//! A transaction's buffered reads/writes over a region must behave like
+//! the same operation sequence over a plain byte array — committed
+//! all-or-nothing, with read-your-writes, regardless of operation
+//! interleaving, alignment or span.
+
+use proptest::prelude::*;
+
+use drtm_htm::{Abort, HtmConfig, Region};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { offset: usize, len: usize },
+    Write { offset: usize, data: Vec<u8> },
+}
+
+const SIZE: usize = 1024;
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..SIZE - 96, 1usize..96).prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0usize..SIZE - 96, proptest::collection::vec(any::<u8>(), 1..96))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Reads inside a transaction see earlier writes of the same
+    /// transaction overlaid on the pre-transaction memory image, and a
+    /// commit publishes exactly the final overlay.
+    #[test]
+    fn txn_matches_model(init in proptest::collection::vec(any::<u8>(), SIZE),
+                         ops in proptest::collection::vec(op(), 1..40),
+                         commit in any::<bool>()) {
+        let region = Region::new(SIZE);
+        region.write_nt(0, &init);
+        let mut model = init.clone();
+
+        let cfg = HtmConfig { read_capacity_lines: 1 << 12, write_capacity_lines: 1 << 12, ..Default::default() };
+        let mut txn = region.begin(&cfg);
+        for o in &ops {
+            match o {
+                Op::Read { offset, len } => {
+                    let got = txn.read_vec(*offset, *len).expect("no conflicts possible");
+                    prop_assert_eq!(&got[..], &model[*offset..*offset + *len]);
+                }
+                Op::Write { offset, data } => {
+                    txn.write(*offset, data).expect("within capacity");
+                    model[*offset..*offset + data.len()].copy_from_slice(data);
+                }
+            }
+        }
+        if commit {
+            txn.commit().expect("single-threaded commit succeeds");
+        } else {
+            drop(txn);
+            model = init; // aborted: nothing published
+        }
+        let mut out = vec![0u8; SIZE];
+        region.read_nt(0, &mut out);
+        prop_assert_eq!(out, model);
+    }
+
+    /// A non-transactional store to any line the transaction touched
+    /// aborts the commit; untouched lines never do.
+    #[test]
+    fn strong_atomicity_is_line_accurate(
+        touch in 0usize..(SIZE / 64),
+        poke in 0usize..(SIZE / 64),
+        write_txn in any::<bool>(),
+    ) {
+        let region = Region::new(SIZE);
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        if write_txn {
+            txn.write_u64(touch * 64, 1).unwrap();
+        } else {
+            txn.read_u64(touch * 64).unwrap();
+        }
+        region.write_u64_nt(poke * 64 + 8, 0xAA); // same line iff poke == touch
+        let result = txn.commit();
+        if poke == touch {
+            prop_assert_eq!(result, Err(Abort::Conflict));
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Capacity accounting is exact: a transaction writing exactly the
+    /// limit commits; one more line aborts with `Capacity`.
+    #[test]
+    fn write_capacity_is_exact(limit in 1usize..12) {
+        let region = Region::new(64 * 16);
+        let cfg = HtmConfig { write_capacity_lines: limit, ..Default::default() };
+        let mut txn = region.begin(&cfg);
+        for i in 0..limit {
+            txn.write_u64(i * 64, 1).expect("within limit");
+        }
+        prop_assert_eq!(txn.write_u64(limit * 64, 1), Err(Abort::Capacity));
+    }
+}

@@ -1,0 +1,186 @@
+//! Host-side allocation of region space.
+//!
+//! Region memory is carved up in two stages:
+//!
+//! 1. At setup time an [`Arena`] hands out non-overlapping ranges of a
+//!    node's region to tables (main headers, indirect pools, entry pools,
+//!    B+ tree node pools).
+//! 2. At run time each pool allocates fixed-size cells from its range via
+//!    a [`FreeList`]. INSERT/DELETE are always executed on the host
+//!    machine (§5.1 footnote 5), so the free list is ordinary host-side
+//!    state guarded by a mutex, not region memory.
+
+use parking_lot::Mutex;
+
+/// Setup-time carver of a region into table ranges.
+///
+/// Alignment is to 64 bytes so every range starts on a fresh emulated
+/// cache line (no false HTM conflicts between adjacent tables).
+#[derive(Debug)]
+pub struct Arena {
+    cursor: usize,
+    size: usize,
+}
+
+impl Arena {
+    /// Creates an arena over `[start, start + size)` of a region.
+    pub fn new(start: usize, size: usize) -> Self {
+        Arena { cursor: start, size: start + size }
+    }
+
+    /// Reserves `bytes`, 64-byte aligned; returns the range start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is exhausted (a sizing bug in the harness).
+    pub fn reserve(&mut self, bytes: usize) -> usize {
+        let start = self.cursor.next_multiple_of(64);
+        let end = start.checked_add(bytes).expect("arena overflow");
+        assert!(end <= self.size, "arena exhausted: need {bytes} at {start}, cap {}", self.size);
+        self.cursor = end;
+        start
+    }
+
+    /// Bytes remaining (ignoring alignment padding of future calls).
+    pub fn remaining(&self) -> usize {
+        self.size - self.cursor
+    }
+}
+
+/// Run-time allocator of fixed-size cells within a reserved range.
+#[derive(Debug)]
+pub struct FreeList {
+    inner: Mutex<FreeListInner>,
+    base: usize,
+    cell: usize,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct FreeListInner {
+    bump: usize,
+    free: Vec<usize>,
+}
+
+impl FreeList {
+    /// Creates an allocator of `capacity` cells of `cell` bytes starting
+    /// at region offset `base`.
+    pub fn new(base: usize, cell: usize, capacity: usize) -> Self {
+        FreeList {
+            inner: Mutex::new(FreeListInner { bump: 0, free: Vec::new() }),
+            base,
+            cell,
+            capacity,
+        }
+    }
+
+    /// Cell size in bytes.
+    pub fn cell_size(&self) -> usize {
+        self.cell
+    }
+
+    /// Total capacity in cells.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates one cell; returns its region offset, or `None` if full.
+    pub fn alloc(&self) -> Option<usize> {
+        let mut inner = self.inner.lock();
+        if let Some(off) = inner.free.pop() {
+            return Some(off);
+        }
+        if inner.bump < self.capacity {
+            let off = self.base + inner.bump * self.cell;
+            inner.bump += 1;
+            Some(off)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a cell to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not a cell boundary inside this pool.
+    pub fn free(&self, offset: usize) {
+        assert!(
+            offset >= self.base
+                && (offset - self.base) % self.cell == 0
+                && (offset - self.base) / self.cell < self.capacity,
+            "free of foreign offset {offset}"
+        );
+        self.inner.lock().free.push(offset);
+    }
+
+    /// Number of live (allocated, not freed) cells.
+    pub fn live(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.bump - inner.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_aligns_and_advances() {
+        let mut a = Arena::new(10, 1000);
+        let r1 = a.reserve(100);
+        assert_eq!(r1 % 64, 0);
+        let r2 = a.reserve(8);
+        assert!(r2 >= r1 + 100);
+        assert_eq!(r2 % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn arena_exhaustion_panics() {
+        let mut a = Arena::new(0, 128);
+        a.reserve(64);
+        a.reserve(128);
+    }
+
+    #[test]
+    fn freelist_alloc_free_reuse() {
+        let f = FreeList::new(256, 32, 3);
+        let a = f.alloc().unwrap();
+        let b = f.alloc().unwrap();
+        let c = f.alloc().unwrap();
+        assert_eq!((a, b, c), (256, 288, 320));
+        assert!(f.alloc().is_none());
+        f.free(b);
+        assert_eq!(f.alloc().unwrap(), b);
+        assert_eq!(f.live(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign offset")]
+    fn freelist_rejects_foreign_free() {
+        let f = FreeList::new(0, 32, 2);
+        f.free(33);
+    }
+
+    #[test]
+    fn freelist_is_thread_safe() {
+        let f = std::sync::Arc::new(FreeList::new(0, 8, 1000));
+        let mut hs = Vec::new();
+        for _ in 0..4 {
+            let f = f.clone();
+            hs.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..250 {
+                    got.push(f.alloc().unwrap());
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = hs.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "double allocation detected");
+        assert!(f.alloc().is_none());
+    }
+}

@@ -1,0 +1,538 @@
+//! HTM-protected B+ tree for ordered stores (§5, DBX-style).
+//!
+//! DrTM keeps ordered tables (TPC-C's order/index tables) in a B+ tree
+//! whose operations run inside the caller's HTM transaction, exactly like
+//! the DBX tree the paper reuses: no latches, no lock coupling — strong
+//! atomicity detects every structural race and aborts one side. Remote
+//! accesses to ordered stores go over SEND/RECV verbs (the transaction
+//! layer ships whole transaction pieces instead, §6.5), so this tree has
+//! no one-sided RDMA path.
+//!
+//! Layout: fixed 256-byte nodes (4 emulated cache lines) in a pool inside
+//! the owner's region. The free list is threaded *through region memory*
+//! (head pointer + next links), so node allocation participates in the
+//! HTM transaction and rolls back on abort — no leak on retry.
+//!
+//! Deletion removes keys from leaves without rebalancing (underfull
+//! nodes persist); TPC-C's delete pattern (new-order index consumption)
+//! never un-balances the tree enough to matter, and the paper's tree
+//! inherits the same simplification from DBX.
+
+use drtm_htm::{Abort, HtmTxn, Region};
+use drtm_rdma::NodeId;
+
+use crate::alloc::Arena;
+
+/// Maximum keys per node.
+const CAP: usize = 14;
+/// Node footprint in bytes.
+const NODE_BYTES: usize = 256;
+/// Offset of the key array inside a node.
+const KEYS_OFF: usize = 16;
+/// Offset of the value/child array inside a node.
+const VALS_OFF: usize = KEYS_OFF + CAP * 8;
+
+/// Geometry of a [`BTree`] inside its owner's region.
+#[derive(Debug, Clone)]
+pub struct BTreeDesc {
+    /// Owning machine.
+    pub node: NodeId,
+    /// Region offset of the tree header (root pointer, free-list head).
+    pub meta_base: usize,
+    /// Region offset of the node pool.
+    pub pool_base: usize,
+    /// Node-pool capacity.
+    pub pool_cap: usize,
+}
+
+impl BTreeDesc {
+    fn root_ptr_off(&self) -> usize {
+        self.meta_base
+    }
+
+    fn free_head_off(&self) -> usize {
+        self.meta_base + 8
+    }
+}
+
+/// An HTM-protected B+ tree mapping `u64` keys to `u64` payloads
+/// (typically entry offsets or packed record ids).
+#[derive(Debug, Clone)]
+pub struct BTree {
+    desc: BTreeDesc,
+}
+
+struct NodeRef {
+    off: usize,
+}
+
+impl NodeRef {
+    fn header(&self, txn: &mut HtmTxn<'_>) -> Result<(bool, usize), Abort> {
+        let w = txn.read_u64(self.off)?;
+        Ok((w & 1 != 0, (w >> 1) as usize & 0x7FFF))
+    }
+
+    fn set_header(&self, txn: &mut HtmTxn<'_>, leaf: bool, nkeys: usize) -> Result<(), Abort> {
+        txn.write_u64(self.off, (leaf as u64) | ((nkeys as u64) << 1))
+    }
+
+    fn next_leaf(&self, txn: &mut HtmTxn<'_>) -> Result<usize, Abort> {
+        Ok(txn.read_u64(self.off + 8)? as usize)
+    }
+
+    fn set_next_leaf(&self, txn: &mut HtmTxn<'_>, next: usize) -> Result<(), Abort> {
+        txn.write_u64(self.off + 8, next as u64)
+    }
+
+    fn key(&self, txn: &mut HtmTxn<'_>, i: usize) -> Result<u64, Abort> {
+        txn.read_u64(self.off + KEYS_OFF + i * 8)
+    }
+
+    fn set_key(&self, txn: &mut HtmTxn<'_>, i: usize, k: u64) -> Result<(), Abort> {
+        txn.write_u64(self.off + KEYS_OFF + i * 8, k)
+    }
+
+    fn val(&self, txn: &mut HtmTxn<'_>, i: usize) -> Result<u64, Abort> {
+        txn.read_u64(self.off + VALS_OFF + i * 8)
+    }
+
+    fn set_val(&self, txn: &mut HtmTxn<'_>, i: usize, v: u64) -> Result<(), Abort> {
+        txn.write_u64(self.off + VALS_OFF + i * 8, v)
+    }
+}
+
+impl BTree {
+    /// Creates an empty tree, initialising the pool free list and an
+    /// empty root leaf directly in region memory (setup time, before any
+    /// concurrency).
+    pub fn create(arena: &mut Arena, region: &Region, node: NodeId, pool_cap: usize) -> Self {
+        assert!(pool_cap >= 2, "pool too small");
+        let meta_base = arena.reserve(16);
+        let pool_base = arena.reserve(pool_cap * NODE_BYTES);
+        let desc = BTreeDesc { node, meta_base, pool_base, pool_cap };
+        // Chain nodes 1..pool_cap into the free list via their word1.
+        for i in 1..pool_cap {
+            let off = pool_base + i * NODE_BYTES;
+            let next = if i + 1 < pool_cap { pool_base + (i + 1) * NODE_BYTES } else { 0 };
+            region.write_u64_nt(off + 8, next as u64);
+        }
+        region.write_u64_nt(desc.free_head_off(), (pool_base + NODE_BYTES) as u64);
+        // Node 0 is the root: an empty leaf.
+        region.write_u64_nt(pool_base, 1); // leaf, 0 keys
+        region.write_u64_nt(pool_base + 8, 0);
+        region.write_u64_nt(desc.root_ptr_off(), pool_base as u64);
+        BTree { desc }
+    }
+
+    /// The tree geometry.
+    pub fn desc(&self) -> &BTreeDesc {
+        &self.desc
+    }
+
+    fn alloc_node(&self, txn: &mut HtmTxn<'_>) -> Result<NodeRef, Abort> {
+        let head = txn.read_u64(self.desc.free_head_off())? as usize;
+        if head == 0 {
+            // Pool exhausted: surface as an explicit abort; the caller's
+            // fallback will report resource exhaustion.
+            return Err(Abort::Explicit(0xF0));
+        }
+        let next = txn.read_u64(head + 8)?;
+        txn.write_u64(self.desc.free_head_off(), next)?;
+        Ok(NodeRef { off: head })
+    }
+
+    fn root(&self, txn: &mut HtmTxn<'_>) -> Result<NodeRef, Abort> {
+        Ok(NodeRef { off: txn.read_u64(self.desc.root_ptr_off())? as usize })
+    }
+
+    /// Index of the first key ≥ `key` in the node (linear scan — nodes
+    /// are 14 keys, cheaper than branching binary search here).
+    fn lower_bound(n: &NodeRef, txn: &mut HtmTxn<'_>, nkeys: usize, key: u64) -> Result<usize, Abort> {
+        for i in 0..nkeys {
+            if n.key(txn, i)? >= key {
+                return Ok(i);
+            }
+        }
+        Ok(nkeys)
+    }
+
+    /// Transactionally looks up `key`.
+    pub fn get(&self, txn: &mut HtmTxn<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        let mut n = self.root(txn)?;
+        loop {
+            let (leaf, nkeys) = n.header(txn)?;
+            let i = Self::lower_bound(&n, txn, nkeys, key)?;
+            if leaf {
+                if i < nkeys && n.key(txn, i)? == key {
+                    return Ok(Some(n.val(txn, i)?));
+                }
+                return Ok(None);
+            }
+            // Child i covers keys < key_i (with child nkeys covering the
+            // tail); descend right of equal separators.
+            let ci = if i < nkeys && n.key(txn, i)? == key { i + 1 } else { i };
+            n = NodeRef { off: n.val(txn, ci)? as usize };
+        }
+    }
+
+    /// Transactionally inserts `key → val`; returns `false` (and updates
+    /// the payload) when the key already existed.
+    pub fn insert(&self, txn: &mut HtmTxn<'_>, key: u64, val: u64) -> Result<bool, Abort> {
+        let root = self.root(txn)?;
+        match self.insert_rec(txn, &root, key, val)? {
+            InsertOutcome::Done(fresh) => Ok(fresh),
+            InsertOutcome::Split(sep, right_off) => {
+                // Grow a new root.
+                let nr = self.alloc_node(txn)?;
+                nr.set_header(txn, false, 1)?;
+                nr.set_next_leaf(txn, 0)?;
+                nr.set_key(txn, 0, sep)?;
+                nr.set_val(txn, 0, root.off as u64)?;
+                nr.set_val(txn, 1, right_off as u64)?;
+                txn.write_u64(self.desc.root_ptr_off(), nr.off as u64)?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn insert_rec(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        n: &NodeRef,
+        key: u64,
+        val: u64,
+    ) -> Result<InsertOutcome, Abort> {
+        let (leaf, nkeys) = n.header(txn)?;
+        let i = Self::lower_bound(n, txn, nkeys, key)?;
+        if leaf {
+            if i < nkeys && n.key(txn, i)? == key {
+                n.set_val(txn, i, val)?;
+                return Ok(InsertOutcome::Done(false));
+            }
+            // Shift right and insert.
+            for j in (i..nkeys).rev() {
+                let k = n.key(txn, j)?;
+                let v = n.val(txn, j)?;
+                n.set_key(txn, j + 1, k)?;
+                n.set_val(txn, j + 1, v)?;
+            }
+            n.set_key(txn, i, key)?;
+            n.set_val(txn, i, val)?;
+            n.set_header(txn, true, nkeys + 1)?;
+            if nkeys + 1 == CAP {
+                return self.split_leaf(txn, n).map(|(s, r)| InsertOutcome::Split(s, r));
+            }
+            return Ok(InsertOutcome::Done(true));
+        }
+        let ci = if i < nkeys && n.key(txn, i)? == key { i + 1 } else { i };
+        let child = NodeRef { off: n.val(txn, ci)? as usize };
+        match self.insert_rec(txn, &child, key, val)? {
+            InsertOutcome::Done(f) => Ok(InsertOutcome::Done(f)),
+            InsertOutcome::Split(sep, right) => {
+                // Insert separator at ci; shift keys and children.
+                for j in (ci..nkeys).rev() {
+                    let k = n.key(txn, j)?;
+                    n.set_key(txn, j + 1, k)?;
+                    let v = n.val(txn, j + 1)?;
+                    n.set_val(txn, j + 2, v)?;
+                }
+                n.set_key(txn, ci, sep)?;
+                n.set_val(txn, ci + 1, right as u64)?;
+                n.set_header(txn, false, nkeys + 1)?;
+                if nkeys + 1 == CAP {
+                    return self.split_internal(txn, n).map(|(s, r)| InsertOutcome::Split(s, r));
+                }
+                Ok(InsertOutcome::Done(true))
+            }
+        }
+    }
+
+    fn split_leaf(&self, txn: &mut HtmTxn<'_>, n: &NodeRef) -> Result<(u64, usize), Abort> {
+        let right = self.alloc_node(txn)?;
+        let half = CAP / 2;
+        let move_n = CAP - half;
+        for j in 0..move_n {
+            let k = n.key(txn, half + j)?;
+            let v = n.val(txn, half + j)?;
+            right.set_key(txn, j, k)?;
+            right.set_val(txn, j, v)?;
+        }
+        let next = n.next_leaf(txn)?;
+        right.set_header(txn, true, move_n)?;
+        right.set_next_leaf(txn, next)?;
+        n.set_header(txn, true, half)?;
+        n.set_next_leaf(txn, right.off)?;
+        let sep = right.key(txn, 0)?;
+        Ok((sep, right.off))
+    }
+
+    fn split_internal(&self, txn: &mut HtmTxn<'_>, n: &NodeRef) -> Result<(u64, usize), Abort> {
+        let right = self.alloc_node(txn)?;
+        let half = CAP / 2;
+        let sep = n.key(txn, half)?;
+        let move_n = CAP - half - 1;
+        for j in 0..move_n {
+            let k = n.key(txn, half + 1 + j)?;
+            right.set_key(txn, j, k)?;
+        }
+        for j in 0..=move_n {
+            let v = n.val(txn, half + 1 + j)?;
+            right.set_val(txn, j, v)?;
+        }
+        right.set_header(txn, false, move_n)?;
+        right.set_next_leaf(txn, 0)?;
+        n.set_header(txn, false, half)?;
+        Ok((sep, right.off))
+    }
+
+    /// Transactionally removes `key`; returns whether it was present.
+    /// Leaves may become underfull (no rebalancing, see module docs).
+    pub fn remove(&self, txn: &mut HtmTxn<'_>, key: u64) -> Result<bool, Abort> {
+        let mut n = self.root(txn)?;
+        loop {
+            let (leaf, nkeys) = n.header(txn)?;
+            let i = Self::lower_bound(&n, txn, nkeys, key)?;
+            if leaf {
+                if i >= nkeys || n.key(txn, i)? != key {
+                    return Ok(false);
+                }
+                for j in i + 1..nkeys {
+                    let k = n.key(txn, j)?;
+                    let v = n.val(txn, j)?;
+                    n.set_key(txn, j - 1, k)?;
+                    n.set_val(txn, j - 1, v)?;
+                }
+                n.set_header(txn, true, nkeys - 1)?;
+                return Ok(true);
+            }
+            let ci = if i < nkeys && n.key(txn, i)? == key { i + 1 } else { i };
+            n = NodeRef { off: n.val(txn, ci)? as usize };
+        }
+    }
+
+    /// Transactionally collects up to `max` pairs with `lo <= key <= hi`,
+    /// in ascending key order.
+    pub fn scan_range(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        lo: u64,
+        hi: u64,
+        max: usize,
+    ) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        // Descend to the leaf that may contain `lo`.
+        let mut n = self.root(txn)?;
+        loop {
+            let (leaf, nkeys) = n.header(txn)?;
+            if leaf {
+                break;
+            }
+            let i = Self::lower_bound(&n, txn, nkeys, lo)?;
+            let ci = if i < nkeys && n.key(txn, i)? == lo { i + 1 } else { i };
+            n = NodeRef { off: n.val(txn, ci)? as usize };
+        }
+        // Walk the leaf chain.
+        loop {
+            let (_, nkeys) = n.header(txn)?;
+            for i in 0..nkeys {
+                let k = n.key(txn, i)?;
+                if k < lo {
+                    continue;
+                }
+                if k > hi || out.len() >= max {
+                    return Ok(out);
+                }
+                out.push((k, n.val(txn, i)?));
+            }
+            let next = n.next_leaf(txn)?;
+            if next == 0 || out.len() >= max {
+                return Ok(out);
+            }
+            n = NodeRef { off: next };
+        }
+    }
+
+    /// Transactionally returns the largest `(key, value)` with
+    /// `lo <= key <= hi`, scanning the whole range (TPC-C order-status:
+    /// "last order by customer").
+    pub fn max_in_range(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, u64)>, Abort> {
+        Ok(self.scan_range(txn, lo, hi, usize::MAX)?.into_iter().next_back())
+    }
+}
+
+enum InsertOutcome {
+    /// Insert finished; `true` if the key was new.
+    Done(bool),
+    /// The node split: (separator, right-node offset) to add to parent.
+    Split(u64, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_htm::HtmConfig;
+    use std::sync::Arc;
+
+    fn setup(pool: usize) -> (Arc<Region>, BTree, HtmConfig) {
+        let region = Arc::new(Region::new(pool * NODE_BYTES + 4096));
+        let mut arena = Arena::new(0, pool * NODE_BYTES + 4096);
+        let tree = BTree::create(&mut arena, &region, 0, pool);
+        let mut cfg = HtmConfig::default();
+        // Trees legitimately touch many lines on bulk operations.
+        cfg.read_capacity_lines = 1 << 16;
+        cfg.write_capacity_lines = 1 << 15;
+        (region, tree, cfg)
+    }
+
+    /// Runs `f` in its own committed transaction, retrying conflicts.
+    fn tx<T>(region: &Region, cfg: &HtmConfig, mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>) -> T {
+        loop {
+            let mut t = region.begin(cfg);
+            if let Ok(v) = f(&mut t) {
+                if t.commit().is_ok() {
+                    return v;
+                }
+            } else {
+                panic!("tree op aborted unexpectedly");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_get_many_ordered() {
+        let (region, tree, cfg) = setup(512);
+        let n = 1000u64;
+        for k in (0..n).rev() {
+            let fresh = tx(&region, &cfg, |t| tree.insert(t, k, k * 10));
+            assert!(fresh);
+        }
+        for k in 0..n {
+            let got = tx(&region, &cfg, |t| tree.get(t, k));
+            assert_eq!(got, Some(k * 10), "key {k}");
+        }
+        assert_eq!(tx(&region, &cfg, |t| tree.get(t, n + 5)), None);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (region, tree, cfg) = setup(16);
+        assert!(tx(&region, &cfg, |t| tree.insert(t, 5, 1)));
+        assert!(!tx(&region, &cfg, |t| tree.insert(t, 5, 2)));
+        assert_eq!(tx(&region, &cfg, |t| tree.get(t, 5)), Some(2));
+    }
+
+    #[test]
+    fn scan_range_is_sorted_and_bounded() {
+        let (region, tree, cfg) = setup(512);
+        for k in 0..500u64 {
+            tx(&region, &cfg, |t| tree.insert(t, k * 2, k));
+        }
+        let got = tx(&region, &cfg, |t| tree.scan_range(t, 100, 140, 100));
+        let keys: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, (50..=70).map(|k| k * 2).collect::<Vec<_>>());
+        // Limit applies.
+        let few = tx(&region, &cfg, |t| tree.scan_range(t, 0, u64::MAX, 7));
+        assert_eq!(few.len(), 7);
+        assert!(few.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn max_in_range_finds_last_order() {
+        let (region, tree, cfg) = setup(128);
+        for o in [3u64, 9, 17, 42] {
+            tx(&region, &cfg, |t| tree.insert(t, 1000 + o, o));
+        }
+        let got = tx(&region, &cfg, |t| tree.max_in_range(t, 1000, 1999));
+        assert_eq!(got, Some((1042, 42)));
+        assert_eq!(tx(&region, &cfg, |t| tree.max_in_range(t, 2000, 3000)), None);
+    }
+
+    #[test]
+    fn remove_then_miss() {
+        let (region, tree, cfg) = setup(256);
+        for k in 0..200u64 {
+            tx(&region, &cfg, |t| tree.insert(t, k, k));
+        }
+        assert!(tx(&region, &cfg, |t| tree.remove(t, 77)));
+        assert!(!tx(&region, &cfg, |t| tree.remove(t, 77)));
+        assert_eq!(tx(&region, &cfg, |t| tree.get(t, 77)), None);
+        assert_eq!(tx(&region, &cfg, |t| tree.get(t, 78)), Some(78));
+        // Scans skip the hole.
+        let got = tx(&region, &cfg, |t| tree.scan_range(t, 75, 80, 10));
+        let keys: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![75, 76, 78, 79, 80]);
+    }
+
+    #[test]
+    fn abort_rolls_back_allocation() {
+        let (region, tree, cfg) = setup(64);
+        let head_before = region.read_u64_nt(tree.desc().free_head_off());
+        // Fill one leaf to the brink of splitting, then abort a splitting
+        // insert: the allocated node must return to the free list.
+        for k in 0..CAP as u64 - 1 {
+            tx(&region, &cfg, |t| tree.insert(t, k, k));
+        }
+        let head_full = region.read_u64_nt(tree.desc().free_head_off());
+        assert_eq!(head_before, head_full, "no split yet");
+        let mut t = region.begin(&cfg);
+        tree.insert(&mut t, 99, 99).unwrap(); // triggers a split in-buffer
+        drop(t); // abort
+        assert_eq!(region.read_u64_nt(tree.desc().free_head_off()), head_full);
+        assert_eq!(tx(&region, &cfg, |t| tree.get(t, 99)), None);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_explicit_abort() {
+        let (region, tree, cfg) = setup(3);
+        let mut t = region.begin(&cfg);
+        let mut err = None;
+        for k in 0..200u64 {
+            match tree.insert(&mut t, k, k) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(Abort::Explicit(0xF0)));
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_all_keys() {
+        let (region, tree, cfg) = setup(2048);
+        let tree = Arc::new(tree);
+        let mut hs = Vec::new();
+        for t in 0..4u64 {
+            let region = region.clone();
+            let tree = tree.clone();
+            let cfg = cfg.clone();
+            hs.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let key = t * 10_000 + i;
+                    loop {
+                        let mut txn = region.begin(&cfg);
+                        if tree.insert(&mut txn, key, key).is_ok() && txn.commit().is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..250u64 {
+                let key = t * 10_000 + i;
+                let got = tx(&region, &cfg, |txn| tree.get(txn, key));
+                assert_eq!(got, Some(key), "key {key}");
+            }
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Location-based, host-transparent caching (§5.3).
+//!
+//! Instead of caching key-value *contents* (which would need cluster-wide
+//! invalidation), DrTM caches key-value *locations*: a snapshot of header
+//! buckets. Because all concurrency-control metadata (incarnation,
+//! version, state) lives in the entry itself, a stale cached location is
+//! detected for free by the incarnation check when the entry is read, and
+//! simply treated as a cache miss — no invalidation traffic, fully
+//! transparent to the host.
+//!
+//! The cache is a direct-mapped array over main-bucket indices plus a
+//! bounded pool of cached indirect buckets; fetching a bucket costs one
+//! RDMA READ and brings in up to 8 candidate slots, which is why even a
+//! cold cache eliminates most lookup READs (Figure 10). One cache is
+//! shared by all client threads of a machine.
+
+use parking_lot::Mutex;
+
+use drtm_rdma::{GlobalAddr, Qp};
+
+use crate::cluster_hash::{ClusterHash, ScanHit, BUCKET_BYTES};
+use crate::slot::{Slot, SlotType};
+use crate::ASSOC;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered entirely from cache (zero RDMA READs).
+    pub hits: u64,
+    /// Lookups that fetched at least one bucket.
+    pub misses: u64,
+    /// Bucket fetches performed (= RDMA READs spent by the cache).
+    pub fetches: u64,
+    /// Explicit invalidations (stale incarnation detected by the caller).
+    pub invalidations: u64,
+}
+
+#[derive(Clone, Copy)]
+struct CachedBucket {
+    words: [u64; ASSOC * 2],
+    tag: usize,
+    valid: bool,
+}
+
+impl CachedBucket {
+    const EMPTY: CachedBucket = CachedBucket { words: [0; ASSOC * 2], tag: 0, valid: false };
+
+    fn from_bytes(buf: &[u8; BUCKET_BYTES], tag: usize) -> Self {
+        let mut words = [0u64; ASSOC * 2];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("bucket word"));
+        }
+        CachedBucket { words, tag, valid: true }
+    }
+
+    fn slot(&self, i: usize) -> Slot {
+        Slot::decode(self.words[i * 2], self.words[i * 2 + 1])
+    }
+
+    fn set_slot(&mut self, i: usize, s: Slot) {
+        let (m, k) = s.encode();
+        self.words[i * 2] = m;
+        self.words[i * 2 + 1] = k;
+    }
+}
+
+struct Inner {
+    main: Vec<CachedBucket>,
+    pool: Vec<CachedBucket>,
+    pool_free: Vec<usize>,
+    stats: CacheStats,
+}
+
+/// A location cache for one remote [`ClusterHash`].
+#[derive(Debug)]
+pub struct LocationCache {
+    inner: Mutex<Inner>,
+    main_mask: usize,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("main", &self.main.len())
+            .field("pool", &self.pool.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LocationCache {
+    /// Creates a cache of `main_slots` direct-mapped buckets (rounded up
+    /// to a power of two) and `pool_slots` indirect buckets.
+    pub fn new(main_slots: usize, pool_slots: usize) -> Self {
+        let main_slots = main_slots.next_power_of_two();
+        LocationCache {
+            inner: Mutex::new(Inner {
+                main: vec![CachedBucket::EMPTY; main_slots],
+                pool: vec![CachedBucket::EMPTY; pool_slots],
+                pool_free: (0..pool_slots).rev().collect(),
+                stats: CacheStats::default(),
+            }),
+            main_mask: main_slots - 1,
+        }
+    }
+
+    /// Sizes a cache from a byte budget, mirroring the paper's "x MB
+    /// cache" axis of Figure 10(d). 80 % of the budget goes to the
+    /// direct-mapped main array, 20 % to the indirect pool.
+    pub fn with_budget(bytes: usize) -> Self {
+        let bucket_cost = BUCKET_BYTES + 16; // words + bookkeeping
+        let main = (bytes * 4 / 5 / bucket_cost).max(1);
+        let pool = (bytes / 5 / bucket_cost).max(1);
+        // `new` rounds the main array up to a power of two, which could
+        // double the budget; round down instead.
+        let main_pow2 = if main.is_power_of_two() { main } else { main.next_power_of_two() / 2 };
+        LocationCache::new(main_pow2.max(1), pool)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn footprint(&self) -> usize {
+        let inner = self.inner.lock();
+        (inner.main.len() + inner.pool.len()) * (BUCKET_BYTES + 16)
+    }
+
+    /// Returns a copy of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the hit/miss counters (not the cached data).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = CacheStats::default();
+    }
+
+    /// Looks up `key` in `table` through the cache.
+    ///
+    /// Returns the entry's global address and slot plus the number of
+    /// RDMA READs spent (0 on a full hit). The caller must still perform
+    /// the incarnation check when reading the entry and call
+    /// [`LocationCache::invalidate`] on mismatch.
+    pub fn lookup(&self, qp: &Qp, table: &ClusterHash, key: u64) -> Option<(GlobalAddr, Slot, u32)> {
+        let desc = table.desc();
+        let idx = desc.bucket_index(key);
+        let way = idx & self.main_mask;
+        let mut inner = self.inner.lock();
+        let mut reads = 0u32;
+
+        // Ensure the main bucket is cached.
+        if !(inner.main[way].valid && inner.main[way].tag == idx) {
+            let off = desc.main_bucket_off(idx);
+            let mut buf = [0u8; BUCKET_BYTES];
+            qp.read(GlobalAddr::new(desc.node, off), &mut buf);
+            reads += 1;
+            inner.stats.fetches += 1;
+            Self::evict(&mut inner, way);
+            inner.main[way] = CachedBucket::from_bytes(&buf, idx);
+        }
+
+        // Walk the (cached) chain.
+        enum Loc {
+            Main(usize),
+            Pool(usize),
+        }
+        let mut loc = Loc::Main(way);
+        let found = loop {
+            let bucket = match loc {
+                Loc::Main(w) => inner.main[w],
+                Loc::Pool(p) => inner.pool[p],
+            };
+            let mut next: Option<Slot> = None;
+            let mut hit = None;
+            for i in 0..ASSOC {
+                let slot = bucket.slot(i);
+                match slot.typ {
+                    SlotType::Entry if slot.key == key => {
+                        hit = Some(slot);
+                        break;
+                    }
+                    SlotType::Header | SlotType::Cached if i == ASSOC - 1 => next = Some(slot),
+                    _ => {}
+                }
+            }
+            if let Some(slot) = hit {
+                break Some((GlobalAddr::new(desc.node, slot.offset as usize), slot));
+            }
+            match next {
+                None => break None,
+                Some(link) if link.typ == SlotType::Cached => {
+                    loc = Loc::Pool(link.offset as usize);
+                }
+                Some(link) => {
+                    // Fetch the indirect bucket and try to cache it.
+                    let off = link.offset as usize;
+                    let mut buf = [0u8; BUCKET_BYTES];
+                    qp.read(GlobalAddr::new(desc.node, off), &mut buf);
+                    reads += 1;
+                    inner.stats.fetches += 1;
+                    match inner.pool_free.pop() {
+                        Some(p) => {
+                            inner.pool[p] = CachedBucket::from_bytes(&buf, 0);
+                            // Re-point the parent's last slot at the pool.
+                            let parent = match loc {
+                                Loc::Main(w) => &mut inner.main[w],
+                                Loc::Pool(pp) => &mut inner.pool[pp],
+                            };
+                            parent.set_slot(
+                                ASSOC - 1,
+                                Slot {
+                                    typ: SlotType::Cached,
+                                    lossy_inc: 0,
+                                    offset: p as u64,
+                                    key: 0,
+                                },
+                            );
+                            loc = Loc::Pool(p);
+                        }
+                        None => {
+                            // Pool exhausted: finish the walk remotely
+                            // without caching (bounded-budget policy).
+                            drop(inner);
+                            return self.finish_remote(qp, table, key, &buf, reads);
+                        }
+                    }
+                }
+            }
+        };
+
+        if reads == 0 {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        match found {
+            Some((addr, slot)) => Some((addr, slot, reads)),
+            None => {
+                // A cached NotFound may be stale (an insert since the
+                // snapshot); drop the chain and verify remotely.
+                Self::evict(&mut inner, way);
+                drop(inner);
+                match table.remote_lookup(qp, key) {
+                    crate::cluster_hash::LookupResult::Found { addr, slot, reads: r } => {
+                        Some((addr, slot, reads + r))
+                    }
+                    crate::cluster_hash::LookupResult::NotFound { .. } => None,
+                }
+            }
+        }
+    }
+
+    /// Continues a chain walk remotely starting from raw bucket bytes.
+    fn finish_remote(
+        &self,
+        qp: &Qp,
+        table: &ClusterHash,
+        key: u64,
+        first: &[u8; BUCKET_BYTES],
+        mut reads: u32,
+    ) -> Option<(GlobalAddr, Slot, u32)> {
+        let desc = table.desc();
+        let mut buf = *first;
+        loop {
+            match ClusterHash::scan_bucket(&buf, key) {
+                ScanHit::Entry(slot) => {
+                    self.inner.lock().stats.misses += 1;
+                    return Some((GlobalAddr::new(desc.node, slot.offset as usize), slot, reads));
+                }
+                ScanHit::Chain(next) => {
+                    qp.read(GlobalAddr::new(desc.node, next), &mut buf);
+                    reads += 1;
+                }
+                ScanHit::Miss => {
+                    self.inner.lock().stats.misses += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Drops the cached chain for `key`'s bucket (stale location
+    /// detected via incarnation check).
+    pub fn invalidate(&self, table: &ClusterHash, key: u64) {
+        let idx = table.desc().bucket_index(key);
+        let way = idx & self.main_mask;
+        let mut inner = self.inner.lock();
+        inner.stats.invalidations += 1;
+        Self::evict(&mut inner, way);
+    }
+
+    /// Evicts the main-way bucket, recursively reclaiming pool buckets on
+    /// its chain.
+    fn evict(inner: &mut Inner, way: usize) {
+        if !inner.main[way].valid {
+            return;
+        }
+        let mut link = inner.main[way].slot(ASSOC - 1);
+        inner.main[way].valid = false;
+        while link.typ == SlotType::Cached {
+            let p = link.offset as usize;
+            link = inner.pool[p].slot(ASSOC - 1);
+            inner.pool[p] = CachedBucket::EMPTY;
+            inner.pool_free.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Arena;
+    use crate::cluster_hash::LookupResult;
+    use drtm_htm::{Executor, HtmConfig, HtmStats};
+    use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile};
+    use std::sync::Arc;
+
+    fn setup(main_buckets: usize) -> (Arc<Cluster>, ClusterHash, Executor) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 8 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let mut arena = Arena::new(0, 8 << 20);
+        let table = ClusterHash::create(&mut arena, 0, main_buckets, 4096, 32);
+        let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
+        (cluster, table, exec)
+    }
+
+    #[test]
+    fn second_lookup_is_free() {
+        let (cluster, table, exec) = setup(64);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 1, b"v").unwrap();
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(64, 16);
+        let (_, _, r1) = cache.lookup(&qp, &table, 1).unwrap();
+        assert_eq!(r1, 1, "cold fetch costs one READ");
+        let (_, _, r2) = cache.lookup(&qp, &table, 1).unwrap();
+        assert_eq!(r2, 0, "warm lookup is free");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.fetches), (1, 1, 1));
+    }
+
+    #[test]
+    fn whole_bucket_fetch_prefetches_neighbours() {
+        let (cluster, table, exec) = setup(1); // all keys share one bucket
+        let region = cluster.node(0).region();
+        for k in 0..8u64 {
+            table.insert(&exec, region, k, b"v").unwrap();
+        }
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(4, 16);
+        cache.lookup(&qp, &table, 0).unwrap();
+        // All 7 other residents of the bucket are now free lookups.
+        for k in 1..8u64 {
+            let (_, _, r) = cache.lookup(&qp, &table, k).unwrap();
+            assert_eq!(r, 0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn chained_buckets_cached_in_pool() {
+        let (cluster, table, exec) = setup(1);
+        let region = cluster.node(0).region();
+        for k in 0..30u64 {
+            table.insert(&exec, region, k, b"v").unwrap();
+        }
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(4, 16);
+        // Walk to the deepest key once; the chain gets cached.
+        let deep_key = 29u64;
+        let (_, _, cold) = cache.lookup(&qp, &table, deep_key).unwrap();
+        assert!(cold >= 1);
+        let (_, _, warm) = cache.lookup(&qp, &table, deep_key).unwrap();
+        assert_eq!(warm, 0, "chain walk should be fully cached");
+    }
+
+    #[test]
+    fn stale_not_found_verifies_remotely() {
+        let (cluster, table, exec) = setup(64);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 1, b"v").unwrap();
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(64, 8);
+        cache.lookup(&qp, &table, 1).unwrap();
+        // Insert a key that maps to the *same* bucket after caching.
+        let mut k2 = 2u64;
+        while table.desc().bucket_index(k2) != table.desc().bucket_index(1) {
+            k2 += 1;
+        }
+        table.insert(&exec, region, k2, b"w").unwrap();
+        // The cached snapshot doesn't contain k2, but lookup still finds it.
+        let got = cache.lookup(&qp, &table, k2);
+        assert!(got.is_some(), "stale NotFound must re-verify");
+    }
+
+    #[test]
+    fn invalidate_after_delete_recovers() {
+        let (cluster, table, exec) = setup(64);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 5, b"old").unwrap();
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(64, 8);
+        let (addr, slot, _) = cache.lookup(&qp, &table, 5).unwrap();
+        table.delete(&exec, region, 5);
+        table.insert(&exec, region, 5, b"new").unwrap();
+        // Cached location is stale: incarnation check fails.
+        assert!(table.remote_read_entry(&qp, addr, &slot).is_none());
+        cache.invalidate(&table, 5);
+        let (addr2, slot2, _) = cache.lookup(&qp, &table, 5).unwrap();
+        let (_, v) = table.remote_read_entry(&qp, addr2, &slot2).unwrap();
+        assert_eq!(v, b"new");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_to_remote_walk() {
+        let (cluster, table, exec) = setup(1);
+        let region = cluster.node(0).region();
+        for k in 0..40u64 {
+            table.insert(&exec, region, k, b"v").unwrap();
+        }
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(1, 1); // pool of one bucket
+        // Every deep lookup still succeeds even when nothing fits.
+        for k in 0..40u64 {
+            assert!(cache.lookup(&qp, &table, k).is_some(), "key {k}");
+        }
+        // Cross-check against the uncached path.
+        for k in 0..40u64 {
+            assert!(matches!(table.remote_lookup(&qp, k), LookupResult::Found { .. }));
+        }
+    }
+
+    #[test]
+    fn budget_sizing_is_monotone() {
+        let small = LocationCache::with_budget(16 << 10);
+        let big = LocationCache::with_budget(1 << 20);
+        assert!(big.footprint() > small.footprint());
+        assert!(small.footprint() <= 32 << 10, "small cache overshoots budget");
+    }
+}

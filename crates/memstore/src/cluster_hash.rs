@@ -1,0 +1,735 @@
+//! Cluster-chaining hash table (§5.2, Figure 9).
+//!
+//! The table is split into three decoupled region ranges:
+//!
+//! * **main headers** — `main_buckets` buckets of [`crate::ASSOC`] 16-byte
+//!   slots each; a key hashes to exactly one main bucket;
+//! * **indirect headers** — a shared pool of identical buckets used to
+//!   extend full main buckets (the last slot of a full bucket is re-typed
+//!   from `Entry` to `Header` and its resident moves into the new
+//!   indirect bucket);
+//! * **entries** — fixed-footprint key-value entries (see
+//!   [`crate::Entry`]).
+//!
+//! Local operations run inside HTM transactions, so no checksums or
+//! version fields are needed for race detection (§5.1); remote lookups
+//! are one-sided RDMA READs of whole buckets (one READ fetches up to 8
+//! candidate slots, the property behind Table 4); remote value reads and
+//! writes are one-sided READ/WRITE of the entry.
+
+use drtm_htm::{Abort, Executor, HtmTxn, Region};
+use drtm_rdma::{GlobalAddr, NodeId, Qp};
+
+use crate::alloc::{Arena, FreeList};
+use crate::entry::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
+use crate::slot::{Slot, SlotType, SLOT_BYTES};
+use crate::{hash64, ASSOC};
+
+/// Bytes per bucket (8 slots of 16 bytes).
+pub const BUCKET_BYTES: usize = ASSOC * SLOT_BYTES;
+
+/// Geometry of a [`ClusterHash`] inside its owner's region.
+///
+/// Every machine in the cluster constructs the same descriptor, so
+/// clients can compute remote bucket addresses without any metadata
+/// traffic — the property that makes one-sided lookups possible.
+#[derive(Debug, Clone)]
+pub struct ClusterHashDesc {
+    /// Owning machine.
+    pub node: NodeId,
+    /// Region offset of the main-header array.
+    pub main_base: usize,
+    /// Number of main buckets (power of two).
+    pub main_buckets: usize,
+    /// Region offset of the indirect-header pool.
+    pub ind_base: usize,
+    /// Number of indirect buckets in the pool.
+    pub ind_buckets: usize,
+    /// Region offset of the entry pool.
+    pub entry_base: usize,
+    /// Number of entries in the pool.
+    pub entry_capacity: usize,
+    /// Fixed value capacity in bytes.
+    pub value_cap: usize,
+}
+
+impl ClusterHashDesc {
+    /// Region offset of main bucket `i`.
+    pub fn main_bucket_off(&self, i: usize) -> usize {
+        self.main_base + i * BUCKET_BYTES
+    }
+
+    /// Main bucket index for `key`.
+    pub fn bucket_index(&self, key: u64) -> usize {
+        (hash64(key) as usize) & (self.main_buckets - 1)
+    }
+
+    /// Entry footprint in bytes for this table.
+    pub fn entry_footprint(&self) -> usize {
+        Entry::footprint(self.value_cap)
+    }
+
+    /// Bytes fetched by one remote entry READ (header + value capacity).
+    pub fn entry_read_bytes(&self) -> usize {
+        ENTRY_HEADER_BYTES + self.value_cap
+    }
+}
+
+/// Outcome of a remote lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The key was found; `addr` is the entry's global address.
+    Found {
+        /// Global address of the entry.
+        addr: GlobalAddr,
+        /// The header slot as read (carries the lossy incarnation).
+        slot: Slot,
+        /// One-sided READs spent on this lookup.
+        reads: u32,
+    },
+    /// The key is absent.
+    NotFound {
+        /// One-sided READs spent on this lookup.
+        reads: u32,
+    },
+}
+
+impl LookupResult {
+    /// READs consumed by the lookup.
+    pub fn reads(&self) -> u32 {
+        match *self {
+            LookupResult::Found { reads, .. } | LookupResult::NotFound { reads } => reads,
+        }
+    }
+}
+
+/// Error from a self-contained insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The key is already present (no change was made).
+    Duplicate,
+    /// The entry or indirect-header pool is exhausted.
+    Full,
+}
+
+/// The HTM/RDMA-friendly hash table.
+///
+/// The struct itself holds only geometry plus the host-side allocators;
+/// it is cheap to share (`Arc`) among the owner's worker threads and — in
+/// this in-process simulation — with client machines, which only use the
+/// geometry.
+#[derive(Debug)]
+pub struct ClusterHash {
+    desc: ClusterHashDesc,
+    entries: FreeList,
+    indirect: FreeList,
+}
+
+impl ClusterHash {
+    /// Builds a table from an explicit descriptor.
+    pub fn new(desc: ClusterHashDesc) -> Self {
+        assert!(desc.main_buckets.is_power_of_two(), "main_buckets must be a power of two");
+        let entries = FreeList::new(desc.entry_base, desc.entry_footprint(), desc.entry_capacity);
+        let indirect = FreeList::new(desc.ind_base, BUCKET_BYTES, desc.ind_buckets);
+        ClusterHash { desc, entries, indirect }
+    }
+
+    /// Carves a table for `node` out of `arena`.
+    ///
+    /// `main_buckets` is rounded up to a power of two; the indirect pool
+    /// defaults to a quarter of the main buckets.
+    pub fn create(
+        arena: &mut Arena,
+        node: NodeId,
+        main_buckets: usize,
+        entry_capacity: usize,
+        value_cap: usize,
+    ) -> Self {
+        let main_buckets = main_buckets.next_power_of_two();
+        // Worst case every entry chains: one indirect bucket per ASSOC
+        // entries, plus slack (indirect buckets are shared, §5.2).
+        let ind_buckets = (entry_capacity / ASSOC + 16).max(main_buckets / 4);
+        let main_base = arena.reserve(main_buckets * BUCKET_BYTES);
+        let ind_base = arena.reserve(ind_buckets * BUCKET_BYTES);
+        let entry_base = arena.reserve(Entry::footprint(value_cap) * entry_capacity);
+        ClusterHash::new(ClusterHashDesc {
+            node,
+            main_base,
+            main_buckets,
+            ind_base,
+            ind_buckets,
+            entry_base,
+            entry_capacity,
+            value_cap,
+        })
+    }
+
+    /// The table geometry.
+    pub fn desc(&self) -> &ClusterHashDesc {
+        &self.desc
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.live()
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read_slot(txn: &mut HtmTxn<'_>, off: usize) -> Result<Slot, Abort> {
+        let meta = txn.read_u64(off)?;
+        let key = txn.read_u64(off + 8)?;
+        Ok(Slot::decode(meta, key))
+    }
+
+    fn write_slot(txn: &mut HtmTxn<'_>, off: usize, slot: Slot) -> Result<(), Abort> {
+        let (meta, key) = slot.encode();
+        txn.write_u64(off, meta)?;
+        txn.write_u64(off + 8, key)
+    }
+
+    /// Transactionally looks up `key`, returning the entry handle.
+    ///
+    /// Runs inside the caller's HTM transaction, so the result is
+    /// protected against concurrent INSERT/DELETE by strong atomicity.
+    pub fn get_local(&self, txn: &mut HtmTxn<'_>, key: u64) -> Result<Option<Entry>, Abort> {
+        let mut bucket = self.desc.main_bucket_off(self.desc.bucket_index(key));
+        loop {
+            let mut next = None;
+            for i in 0..ASSOC {
+                let off = bucket + i * SLOT_BYTES;
+                let slot = Self::read_slot(txn, off)?;
+                match slot.typ {
+                    SlotType::Entry if slot.key == key => {
+                        return Ok(Some(Entry::at(slot.offset as usize)));
+                    }
+                    SlotType::Header if i == ASSOC - 1 => next = Some(slot.offset as usize),
+                    _ => {}
+                }
+            }
+            match next {
+                Some(b) => bucket = b,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Inserts `key → value` as a self-contained HTM transaction.
+    ///
+    /// INSERT is always executed on the host machine (remote machines
+    /// ship it via SEND/RECV verbs, §5.1 footnote 5). The HTM body is
+    /// retried without bound on conflicts — its working set is a bucket
+    /// chain plus one entry, far below capacity — so no 2PL fallback is
+    /// needed; allocator state is rolled back on every failed attempt.
+    pub fn insert(
+        &self,
+        exec: &Executor,
+        region: &Region,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), InsertError> {
+        assert!(value.len() <= self.desc.value_cap, "value exceeds table capacity");
+        let entry_off = self.entries.alloc().ok_or(InsertError::Full)?;
+        loop {
+            let mut txn = region.begin(exec.config());
+            match self.try_insert(&mut txn, key, entry_off, value) {
+                Ok((dup, ind)) => {
+                    if dup {
+                        exec.stats().record_commit();
+                        drop(txn);
+                        self.entries.free(entry_off);
+                        return Err(InsertError::Duplicate);
+                    }
+                    match txn.commit() {
+                        Ok(()) => {
+                            exec.stats().record_commit();
+                            return Ok(());
+                        }
+                        Err(a) => {
+                            exec.stats().record_abort(a);
+                            if let Some(b) = ind {
+                                self.indirect.free(b);
+                            }
+                        }
+                    }
+                }
+                Err(InsertAttemptError::Abort(a)) => {
+                    exec.stats().record_abort(a);
+                    assert!(
+                        a != Abort::Capacity,
+                        "insert working set exceeds HTM capacity; raise write_capacity_lines"
+                    );
+                }
+                Err(InsertAttemptError::PoolFull) => {
+                    self.entries.free(entry_off);
+                    return Err(InsertError::Full);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// One insert attempt inside `txn`. Returns `(duplicate,
+    /// allocated_indirect_bucket)`; the caller frees the bucket if the
+    /// commit subsequently fails.
+    fn try_insert(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        key: u64,
+        entry_off: usize,
+        value: &[u8],
+    ) -> Result<(bool, Option<usize>), InsertAttemptError> {
+        let mut bucket = self.desc.main_bucket_off(self.desc.bucket_index(key));
+        let mut free_slot: Option<usize> = None;
+        let last_slot_off;
+        // Phase 1: scan the whole chain for the key and the first hole.
+        loop {
+            let mut next = None;
+            for i in 0..ASSOC {
+                let off = bucket + i * SLOT_BYTES;
+                let slot = Self::read_slot(txn, off)?;
+                match slot.typ {
+                    SlotType::Entry if slot.key == key => return Ok((true, None)),
+                    SlotType::Free => {
+                        if free_slot.is_none() {
+                            free_slot = Some(off);
+                        }
+                    }
+                    SlotType::Header if i == ASSOC - 1 => next = Some(slot.offset as usize),
+                    _ => {}
+                }
+            }
+            match next {
+                Some(b) => bucket = b,
+                None => {
+                    last_slot_off = bucket + (ASSOC - 1) * SLOT_BYTES;
+                    break;
+                }
+            }
+        }
+        // Phase 2: initialise the entry (incarnation survives cell reuse).
+        let entry = Entry::at(entry_off);
+        let old = entry.read_header(txn)?;
+        let inc = old.incarnation.wrapping_add(1);
+        entry.write_header(
+            txn,
+            &EntryHeader {
+                state: 0,
+                incarnation: inc,
+                version: 0,
+                key,
+                value_len: value.len() as u32,
+            },
+        )?;
+        txn.write(entry.value_off(), value)?;
+        let new_slot = Slot::entry(key, entry_off as u64, inc);
+        // Phase 3: link the slot.
+        if let Some(off) = free_slot {
+            Self::write_slot(txn, off, new_slot)?;
+            return Ok((false, None));
+        }
+        // Chain is full: extend it through the last slot (Figure 9).
+        let resident = Self::read_slot(txn, last_slot_off)?;
+        debug_assert_eq!(resident.typ, SlotType::Entry, "full chain must end in an entry");
+        let ind = self.indirect.alloc().ok_or(InsertAttemptError::PoolFull)?;
+        // Clear the (recycled) indirect bucket, move the resident into
+        // slot 0, the new pair into slot 1, and re-type the last slot.
+        for i in 0..ASSOC {
+            Self::write_slot(txn, ind + i * SLOT_BYTES, Slot::FREE)?;
+        }
+        Self::write_slot(txn, ind, resident)?;
+        Self::write_slot(txn, ind + SLOT_BYTES, new_slot)?;
+        Self::write_slot(txn, last_slot_off, Slot::header(ind as u64))?;
+        Ok((false, Some(ind)))
+    }
+
+    /// Inserts `key → value` *inside the caller's HTM transaction* so the
+    /// insert commits or aborts atomically with the enclosing database
+    /// transaction (TPC-C's new-order inserts, §5.1).
+    ///
+    /// Host-side allocator state is **not** transactional: on success the
+    /// caller must keep the returned [`PreparedInsert`] and pass it to
+    /// [`ClusterHash::undo_insert`] if the enclosing transaction later
+    /// aborts (the DrTM transaction context automates this).
+    pub fn insert_txn(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        key: u64,
+        value: &[u8],
+    ) -> Result<Result<PreparedInsert, InsertError>, Abort> {
+        assert!(value.len() <= self.desc.value_cap, "value exceeds table capacity");
+        let Some(entry_off) = self.entries.alloc() else {
+            return Ok(Err(InsertError::Full));
+        };
+        match self.try_insert(txn, key, entry_off, value) {
+            Ok((true, _)) => {
+                self.entries.free(entry_off);
+                Ok(Err(InsertError::Duplicate))
+            }
+            Ok((false, ind)) => Ok(Ok(PreparedInsert { entry_off, ind })),
+            Err(InsertAttemptError::Abort(a)) => {
+                self.entries.free(entry_off);
+                Err(a)
+            }
+            Err(InsertAttemptError::PoolFull) => {
+                self.entries.free(entry_off);
+                Ok(Err(InsertError::Full))
+            }
+        }
+    }
+
+    /// Returns the allocator cells of an insert whose enclosing HTM
+    /// transaction aborted.
+    pub fn undo_insert(&self, p: PreparedInsert) {
+        self.entries.free(p.entry_off);
+        if let Some(b) = p.ind {
+            self.indirect.free(b);
+        }
+    }
+
+    /// Deletes `key` as a self-contained HTM transaction.
+    ///
+    /// Deletion is logical-then-physical: the entry's incarnation is
+    /// bumped inside the HTM region (so stale cached locations fail the
+    /// incarnation check, §5.3) and the header slot is freed. Returns
+    /// whether the key was present.
+    pub fn delete(&self, exec: &Executor, region: &Region, key: u64) -> bool {
+        loop {
+            let mut txn = region.begin(exec.config());
+            match self.try_delete(&mut txn, key) {
+                Ok(found) => {
+                    let entry_off = match found {
+                        Some(e) => e,
+                        None => {
+                            exec.stats().record_commit();
+                            return false;
+                        }
+                    };
+                    if txn.commit().is_ok() {
+                        exec.stats().record_commit();
+                        self.entries.free(entry_off);
+                        return true;
+                    }
+                    exec.stats().record_abort(Abort::Conflict);
+                }
+                Err(a) => exec.stats().record_abort(a),
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn try_delete(&self, txn: &mut HtmTxn<'_>, key: u64) -> Result<Option<usize>, Abort> {
+        let mut bucket = self.desc.main_bucket_off(self.desc.bucket_index(key));
+        loop {
+            let mut next = None;
+            for i in 0..ASSOC {
+                let off = bucket + i * SLOT_BYTES;
+                let slot = Self::read_slot(txn, off)?;
+                match slot.typ {
+                    SlotType::Entry if slot.key == key => {
+                        let entry = Entry::at(slot.offset as usize);
+                        let mut h = entry.read_header(txn)?;
+                        h.incarnation = h.incarnation.wrapping_add(1);
+                        entry.write_header(txn, &h)?;
+                        Self::write_slot(txn, off, Slot::FREE)?;
+                        return Ok(Some(slot.offset as usize));
+                    }
+                    SlotType::Header if i == ASSOC - 1 => next = Some(slot.offset as usize),
+                    _ => {}
+                }
+            }
+            match next {
+                Some(b) => bucket = b,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Remote lookup of `key` by one-sided RDMA READs of whole buckets.
+    pub fn remote_lookup(&self, qp: &Qp, key: u64) -> LookupResult {
+        let mut bucket = self.desc.main_bucket_off(self.desc.bucket_index(key));
+        let mut reads = 0u32;
+        let mut buf = [0u8; BUCKET_BYTES];
+        loop {
+            qp.read(GlobalAddr::new(self.desc.node, bucket), &mut buf);
+            reads += 1;
+            match Self::scan_bucket(&buf, key) {
+                ScanHit::Entry(slot) => {
+                    return LookupResult::Found {
+                        addr: GlobalAddr::new(self.desc.node, slot.offset as usize),
+                        slot,
+                        reads,
+                    };
+                }
+                ScanHit::Chain(next) => bucket = next,
+                ScanHit::Miss => return LookupResult::NotFound { reads },
+            }
+        }
+    }
+
+    /// Scans raw bucket bytes for `key`; shared by the remote path and
+    /// the location cache.
+    pub(crate) fn scan_bucket(buf: &[u8; BUCKET_BYTES], key: u64) -> ScanHit {
+        for i in 0..ASSOC {
+            let at = i * SLOT_BYTES;
+            let meta = u64::from_le_bytes(buf[at..at + 8].try_into().expect("slot"));
+            let k = u64::from_le_bytes(buf[at + 8..at + 16].try_into().expect("slot"));
+            let slot = Slot::decode(meta, k);
+            match slot.typ {
+                SlotType::Entry if slot.key == key => return ScanHit::Entry(slot),
+                SlotType::Header if i == ASSOC - 1 => return ScanHit::Chain(slot.offset as usize),
+                _ => {}
+            }
+        }
+        ScanHit::Miss
+    }
+
+    /// Remote read of an entry's header and value in a single RDMA READ,
+    /// with incarnation check against `expect_slot`.
+    ///
+    /// Returns `None` when the incarnation no longer matches (the entry
+    /// was deleted or recycled since the location was obtained) — the
+    /// caller treats this as a cache miss and retries the lookup.
+    pub fn remote_read_entry(
+        &self,
+        qp: &Qp,
+        addr: GlobalAddr,
+        expect_slot: &Slot,
+    ) -> Option<(EntryHeader, Vec<u8>)> {
+        let mut buf = vec![0u8; self.desc.entry_read_bytes()];
+        qp.read(addr, &mut buf);
+        let h = EntryHeader::decode(&buf[..ENTRY_HEADER_BYTES]);
+        if !expect_slot.incarnation_matches(h.incarnation) {
+            return None;
+        }
+        let len = (h.value_len as usize).min(self.desc.value_cap);
+        Some((h, buf[ENTRY_HEADER_BYTES..ENTRY_HEADER_BYTES + len].to_vec()))
+    }
+
+    /// Remote overwrite of an entry's value (and version bump) with
+    /// one-sided WRITEs.
+    ///
+    /// The caller must hold the entry's exclusive lock (the transaction
+    /// layer's REMOTE_WRITE protocol ensures this); the version is read
+    /// as part of the lock acquisition in the full protocol, so here the
+    /// new version is supplied by the caller.
+    pub fn remote_write_value(&self, qp: &Qp, addr: GlobalAddr, version: u32, value: &[u8]) {
+        assert!(value.len() <= self.desc.value_cap, "value exceeds table capacity");
+        // Two WRITEs: the version (avoiding the adjacent incarnation),
+        // then length + padding + value, which are contiguous.
+        qp.write(GlobalAddr::new(addr.node, addr.offset + 12), &version.to_le_bytes());
+        let mut buf = Vec::with_capacity(8 + value.len());
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.extend_from_slice(value);
+        qp.write(GlobalAddr::new(addr.node, addr.offset + 24), &buf);
+    }
+}
+
+/// Result of scanning one bucket for a key.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScanHit {
+    /// Found an entry slot for the key.
+    Entry(Slot),
+    /// The bucket chains to another bucket at this region offset.
+    Chain(usize),
+    /// The key is not in this chain.
+    Miss,
+}
+
+/// Allocator cells consumed by an [`ClusterHash::insert_txn`]; return
+/// them with [`ClusterHash::undo_insert`] if the transaction aborts.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedInsert {
+    entry_off: usize,
+    ind: Option<usize>,
+}
+
+enum InsertAttemptError {
+    Abort(Abort),
+    PoolFull,
+}
+
+impl From<Abort> for InsertAttemptError {
+    fn from(a: Abort) -> Self {
+        InsertAttemptError::Abort(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_htm::{HtmConfig, HtmStats};
+    use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile};
+    use std::sync::Arc;
+
+    fn setup(main_buckets: usize, cap: usize) -> (Arc<Cluster>, ClusterHash, Executor) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 8 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let mut arena = Arena::new(0, 8 << 20);
+        let table = ClusterHash::create(&mut arena, 0, main_buckets, cap, 64);
+        let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
+        (cluster, table, exec)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (cluster, table, exec) = setup(64, 1000);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 42, b"hello").unwrap();
+        let mut txn = region.begin(exec.config());
+        let e = table.get_local(&mut txn, 42).unwrap().expect("found");
+        assert_eq!(e.read_value(&mut txn).unwrap(), b"hello");
+        assert!(table.get_local(&mut txn, 43).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (cluster, table, exec) = setup(64, 1000);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 1, b"a").unwrap();
+        assert_eq!(table.insert(&exec, region, 1, b"b"), Err(InsertError::Duplicate));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn chains_grow_past_bucket_capacity() {
+        // 1 main bucket forces chaining after 8 inserts.
+        let (cluster, table, exec) = setup(1, 1000);
+        let region = cluster.node(0).region();
+        for k in 0..100u64 {
+            table.insert(&exec, region, k, &k.to_le_bytes()).unwrap();
+        }
+        let mut txn = region.begin(exec.config());
+        for k in 0..100u64 {
+            let e = table.get_local(&mut txn, k).unwrap().expect("found");
+            assert_eq!(e.read_value(&mut txn).unwrap(), k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn delete_then_lookup_misses_and_slot_is_reused() {
+        let (cluster, table, exec) = setup(1, 1000);
+        let region = cluster.node(0).region();
+        for k in 0..20u64 {
+            table.insert(&exec, region, k, b"x").unwrap();
+        }
+        assert!(table.delete(&exec, region, 7));
+        assert!(!table.delete(&exec, region, 7));
+        let mut txn = region.begin(exec.config());
+        assert!(table.get_local(&mut txn, 7).unwrap().is_none());
+        drop(txn);
+        // Reinsert lands in the freed hole and is findable.
+        table.insert(&exec, region, 107, b"y").unwrap();
+        let mut txn = region.begin(exec.config());
+        assert!(table.get_local(&mut txn, 107).unwrap().is_some());
+    }
+
+    #[test]
+    fn remote_lookup_and_read() {
+        let (cluster, table, exec) = setup(64, 1000);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 5, b"remote value").unwrap();
+        let qp = cluster.qp(1);
+        match table.remote_lookup(&qp, 5) {
+            LookupResult::Found { addr, slot, reads } => {
+                assert_eq!(reads, 1);
+                let (h, v) = table.remote_read_entry(&qp, addr, &slot).expect("live");
+                assert_eq!(h.key, 5);
+                assert_eq!(v, b"remote value");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(table.remote_lookup(&qp, 6), LookupResult::NotFound { reads: 1 }));
+    }
+
+    #[test]
+    fn remote_lookup_follows_chains() {
+        let (cluster, table, exec) = setup(1, 1000);
+        let region = cluster.node(0).region();
+        for k in 0..30u64 {
+            table.insert(&exec, region, k, b"z").unwrap();
+        }
+        let qp = cluster.qp(1);
+        let deep = (0..30u64)
+            .map(|k| table.remote_lookup(&qp, k).reads())
+            .max()
+            .unwrap();
+        assert!(deep >= 2, "chained keys need multiple READs, got {deep}");
+    }
+
+    #[test]
+    fn incarnation_check_catches_delete() {
+        let (cluster, table, exec) = setup(64, 1000);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 9, b"old").unwrap();
+        let qp = cluster.qp(1);
+        let (addr, slot) = match table.remote_lookup(&qp, 9) {
+            LookupResult::Found { addr, slot, .. } => (addr, slot),
+            _ => panic!("must find"),
+        };
+        table.delete(&exec, region, 9);
+        assert!(table.remote_read_entry(&qp, addr, &slot).is_none(), "stale location detected");
+    }
+
+    #[test]
+    fn remote_write_value_visible_locally() {
+        let (cluster, table, exec) = setup(64, 1000);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 3, b"before").unwrap();
+        let qp = cluster.qp(1);
+        let addr = match table.remote_lookup(&qp, 3) {
+            LookupResult::Found { addr, .. } => addr,
+            _ => panic!(),
+        };
+        table.remote_write_value(&qp, addr, 1, b"after!");
+        let mut txn = region.begin(exec.config());
+        let e = table.get_local(&mut txn, 3).unwrap().unwrap();
+        assert_eq!(e.read_value(&mut txn).unwrap(), b"after!");
+    }
+
+    #[test]
+    fn pool_exhaustion_reported() {
+        let (cluster, table, exec) = setup(64, 2);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 1, b"a").unwrap();
+        table.insert(&exec, region, 2, b"b").unwrap();
+        assert_eq!(table.insert(&exec, region, 3, b"c"), Err(InsertError::Full));
+    }
+
+    #[test]
+    fn concurrent_inserts_all_land() {
+        let (cluster, table, exec) = setup(16, 4000);
+        let table = Arc::new(table);
+        let mut hs = Vec::new();
+        for t in 0..4u64 {
+            let table = table.clone();
+            let cluster = cluster.clone();
+            let exec = exec.clone();
+            hs.push(std::thread::spawn(move || {
+                let region = cluster.node(0).region();
+                for i in 0..200u64 {
+                    table.insert(&exec, region, t * 1000 + i, b"v").unwrap();
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(table.len(), 800);
+        let region = cluster.node(0).region();
+        let mut txn = region.begin(exec.config());
+        for t in 0..4u64 {
+            for i in 0..200u64 {
+                assert!(table.get_local(&mut txn, t * 1000 + i).unwrap().is_some());
+            }
+        }
+    }
+}

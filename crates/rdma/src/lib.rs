@@ -1,0 +1,55 @@
+//! Simulated RDMA fabric for the DrTM reproduction.
+//!
+//! The paper runs on a 6-node cluster connected by ConnectX-3 56 Gbps
+//! InfiniBand and uses three networking primitives:
+//!
+//! * **One-sided verbs** — READ, WRITE and the two atomics (CAS,
+//!   fetch-and-add) that access a remote machine's registered memory
+//!   without involving its CPU. DrTM builds its 2PL locks and its
+//!   key-value store accesses out of these.
+//! * **SEND/RECV verbs** — kernel-bypass message passing, used for the
+//!   ordered-store remote accesses and for shipping INSERT/DELETE to the
+//!   host machine.
+//! * **IPoIB** — IP emulation over InfiniBand, slow due to kernel
+//!   involvement; the paper runs Calvin over it.
+//!
+//! This crate reproduces all three in-process. A [`Cluster`] owns one
+//! [`Node`] per simulated machine; each node's memory is a
+//! [`drtm_htm::Region`], so one-sided operations go through the *same*
+//! per-line metadata as the software HTM — reproducing the
+//! cache-coherence coupling between the NIC's DMA engine and RTM that the
+//! whole DrTM design rests on (a remote CAS/WRITE to a line read by an
+//! in-flight HTM transaction aborts that transaction).
+//!
+//! Every operation charges its modelled latency (see [`LatencyProfile`])
+//! to the calling thread's [`drtm_htm::vtime`] meter and bumps the
+//! cluster-wide [`OpCounters`]; the paper's "average RDMA READs per
+//! lookup" metric (Table 4) is read straight off those counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use drtm_rdma::{Cluster, ClusterConfig, GlobalAddr};
+//!
+//! let cluster = Cluster::new(ClusterConfig {
+//!     nodes: 2,
+//!     region_size: 4096,
+//!     ..Default::default()
+//! });
+//! let qp = cluster.qp(0); // queue pair owned by machine 0
+//! let addr = GlobalAddr { node: 1, offset: 64 };
+//! qp.write_u64(addr, 7);
+//! assert_eq!(qp.read_u64(addr), 7);
+//! assert_eq!(qp.cas_u64(addr, 7, 9), 7);
+//! assert_eq!(cluster.counters().snapshot().cas, 1);
+//! ```
+
+mod counters;
+mod fabric;
+mod latency;
+mod verbs;
+
+pub use counters::{CounterSnapshot, OpCounters};
+pub use fabric::{AtomicityLevel, Cluster, ClusterConfig, GlobalAddr, Node, NodeId, Qp};
+pub use latency::LatencyProfile;
+pub use verbs::{Message, QueueId, Verbs};

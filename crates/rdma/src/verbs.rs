@@ -1,0 +1,185 @@
+//! SEND/RECV verbs: two-sided message passing between nodes.
+//!
+//! DrTM uses two-sided verbs where one-sided operations do not suffice:
+//! shipping INSERT/DELETE to the host machine (§5.1, footnote 5), remote
+//! range queries on ordered stores (§6.5), and the entire Calvin baseline
+//! (over the IPoIB cost profile).
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Duration;
+
+use drtm_htm::vtime;
+
+use crate::fabric::NodeId;
+
+/// Identifies one receive queue on a node; nodes may own many queues
+/// (e.g. one per worker thread) so responses do not interleave.
+pub type QueueId = u16;
+
+/// A delivered verbs message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending machine.
+    pub from: NodeId,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Receive-side cost (charged to the receiving thread's virtual
+    /// time when the message is taken off the queue: a two-sided verb
+    /// costs both ends, unlike one-sided operations).
+    pub recv_cost_ns: u64,
+}
+
+type Endpoint = (NodeId, QueueId);
+
+/// The set of receive queues of a cluster.
+///
+/// Queues are created lazily on first use. Senders never block
+/// (unbounded); receivers may block, poll or time out.
+#[derive(Debug)]
+pub struct Verbs {
+    queues: RwLock<HashMap<Endpoint, (Sender<Message>, Receiver<Message>)>>,
+    nodes: usize,
+}
+
+impl Verbs {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Verbs { queues: RwLock::new(HashMap::new()), nodes }
+    }
+
+    fn queue(&self, ep: Endpoint) -> (Sender<Message>, Receiver<Message>) {
+        assert!((ep.0 as usize) < self.nodes, "verbs endpoint node {} out of range", ep.0);
+        if let Some(q) = self.queues.read().get(&ep) {
+            return q.clone();
+        }
+        let mut w = self.queues.write();
+        w.entry(ep).or_insert_with(unbounded).clone()
+    }
+
+    /// Delivers `payload` from `from` to queue `qid` on node `to`.
+    ///
+    /// Prefer [`crate::Qp::send`], which also charges latency and counts
+    /// the operation.
+    pub fn deliver(&self, from: NodeId, to: NodeId, qid: QueueId, payload: Vec<u8>) {
+        self.deliver_costed(from, to, qid, payload, 0);
+    }
+
+    /// [`Verbs::deliver`] with an explicit receive-side cost.
+    pub fn deliver_costed(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        qid: QueueId,
+        payload: Vec<u8>,
+        recv_cost_ns: u64,
+    ) {
+        let (tx, _) = self.queue((to, qid));
+        // Receiver half is kept alive in the map, so this cannot fail.
+        tx.send(Message { from, payload, recv_cost_ns }).expect("verbs queue closed");
+    }
+
+    fn charge_recv(m: Message) -> Message {
+        vtime::charge(m.recv_cost_ns);
+        m
+    }
+
+    /// Blocks until a message arrives on queue `qid` of node `node`.
+    pub fn recv(&self, node: NodeId, qid: QueueId) -> Message {
+        let (_, rx) = self.queue((node, qid));
+        Self::charge_recv(rx.recv().expect("verbs queue closed"))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, node: NodeId, qid: QueueId) -> Option<Message> {
+        let (_, rx) = self.queue((node, qid));
+        rx.try_recv().ok().map(Self::charge_recv)
+    }
+
+    /// Receive with a timeout; `None` on timeout.
+    pub fn recv_timeout(&self, node: NodeId, qid: QueueId, timeout: Duration) -> Option<Message> {
+        let (_, rx) = self.queue((node, qid));
+        match rx.recv_timeout(timeout) {
+            Ok(m) => Some(Self::charge_recv(m)),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => panic!("verbs queue closed"),
+        }
+    }
+
+    /// Number of messages currently waiting on a queue.
+    pub fn pending(&self, node: NodeId, qid: QueueId) -> usize {
+        let (_, rx) = self.queue((node, qid));
+        rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig, LatencyProfile};
+
+    fn cluster(n: usize) -> std::sync::Arc<Cluster> {
+        Cluster::new(ClusterConfig {
+            nodes: n,
+            region_size: 64,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let c = cluster(2);
+        c.qp(0).send(1, 7, b"ping".to_vec());
+        let m = c.verbs().recv(1, 7);
+        assert_eq!(m.from, 0);
+        assert_eq!(m.payload, b"ping");
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let c = cluster(2);
+        c.qp(0).send(1, 1, b"a".to_vec());
+        c.qp(0).send(1, 2, b"b".to_vec());
+        assert_eq!(c.verbs().recv(1, 2).payload, b"b");
+        assert_eq!(c.verbs().recv(1, 1).payload, b"a");
+    }
+
+    #[test]
+    fn try_recv_and_pending() {
+        let c = cluster(2);
+        assert!(c.verbs().try_recv(0, 0).is_none());
+        assert_eq!(c.verbs().pending(0, 0), 0);
+        c.qp(1).send(0, 0, vec![1, 2, 3]);
+        assert_eq!(c.verbs().pending(0, 0), 1);
+        assert_eq!(c.verbs().try_recv(0, 0).unwrap().payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let c = cluster(1);
+        let got = c.verbs().recv_timeout(0, 0, Duration::from_millis(10));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn fifo_per_queue() {
+        let c = cluster(2);
+        for i in 0..10u8 {
+            c.qp(0).send(1, 0, vec![i]);
+        }
+        for i in 0..10u8 {
+            assert_eq!(c.verbs().recv(1, 0).payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let c = cluster(2);
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || c2.verbs().recv(1, 3).payload);
+        std::thread::sleep(Duration::from_millis(20));
+        c.qp(0).send(1, 3, b"late".to_vec());
+        assert_eq!(h.join().unwrap(), b"late");
+    }
+}

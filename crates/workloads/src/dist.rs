@@ -1,0 +1,135 @@
+//! Key distributions: uniform and Zipf (YCSB θ = 0.99, §5.4).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible per-thread random source.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03)
+}
+
+/// How keys are drawn from `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipf with precomputed cumulative weights (rank 1 most popular).
+    ///
+    /// Popular ranks are scattered over the key space with a fixed
+    /// permutation so hot keys do not share hash buckets.
+    Zipf {
+        /// Key-space size.
+        n: u64,
+        /// Cumulative probability per rank.
+        cdf: std::sync::Arc<Vec<f64>>,
+    },
+}
+
+impl KeyDist {
+    /// Uniform keys over `[0, n)`.
+    pub fn uniform(n: u64) -> KeyDist {
+        assert!(n > 0);
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipf-distributed keys over `[0, n)` with exponent `theta`.
+    ///
+    /// YCSB's default skew is θ = 0.99, which the paper uses (§5.4).
+    pub fn zipf(n: u64, theta: f64) -> KeyDist {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        KeyDist::Zipf { n, cdf: std::sync::Arc::new(cdf) }
+    }
+
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } | KeyDist::Zipf { n, .. } => *n,
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::Zipf { n, cdf } => {
+                let u: f64 = rng.gen();
+                let rank = cdf.partition_point(|&c| c < u) as u64;
+                // Scatter ranks across the key space (bijective affine
+                // map modulo n with a multiplier coprime to most sizes).
+                rank.wrapping_mul(0x9E37_79B9) % *n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let d = KeyDist::uniform(10);
+        let mut r = rng(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[d.sample(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all keys should appear");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let d = KeyDist::zipf(1000, 0.99);
+        let mut r = rng(2);
+        let mut counts = std::collections::HashMap::new();
+        let samples = 20_000;
+        for _ in 0..samples {
+            *counts.entry(d.sample(&mut r)).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.3 * samples as f64,
+            "θ=0.99: top-10 keys should draw >30% of samples, got {top10}"
+        );
+        // But the tail is still populated.
+        assert!(counts.len() > 300, "tail too thin: {}", counts.len());
+    }
+
+    #[test]
+    fn zipf_keys_in_range() {
+        let d = KeyDist::zipf(97, 0.99);
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) < 97);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = KeyDist::zipf(100, 0.99);
+        let a: Vec<u64> = {
+            let mut r = rng(7);
+            (0..20).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(7);
+            (0..20).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

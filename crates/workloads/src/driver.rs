@@ -1,0 +1,222 @@
+//! Multi-threaded virtual-time benchmark driver.
+//!
+//! Every throughput experiment follows the same shape: spawn one OS
+//! thread per simulated worker, run a workload closure a fixed number of
+//! iterations, and read each worker's virtual-time meter
+//! ([`drtm_htm::vtime`]). Cluster throughput is the median per-worker
+//! rate times the worker count — workers run concurrently in virtual
+//! time by construction, so the host's physical core count does not
+//! distort the scaling curves.
+
+use std::collections::BTreeMap;
+
+use drtm_htm::vtime;
+use drtm_rdma::NodeId;
+
+/// One worker's measured output.
+#[derive(Debug, Clone)]
+pub struct WorkerRun {
+    /// The machine the worker belonged to.
+    pub node: NodeId,
+    /// Per-transaction `(label, virtual ns)` samples.
+    pub samples: Vec<(&'static str, u64)>,
+    /// Total virtual nanoseconds spent.
+    pub vtime_ns: u64,
+}
+
+/// Aggregated results of one benchmark run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every worker's measurements.
+    pub workers: Vec<WorkerRun>,
+}
+
+impl Report {
+    /// Total transactions executed.
+    pub fn total_txns(&self) -> u64 {
+        self.workers.iter().map(|w| w.samples.len() as u64).sum()
+    }
+
+    /// Transactions per label.
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        for w in &self.workers {
+            for &(l, _) in &w.samples {
+                *m.entry(l).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Cluster throughput in transactions/second of virtual time:
+    /// the *median* per-worker rate times the worker count.
+    ///
+    /// The median (rather than the sum of individual rates) makes the
+    /// measure robust to the per-worker virtual-time tails that host
+    /// scheduling induces — a worker descheduled across a lease window
+    /// accrues a rare multi-millisecond wait that a fixed-duration
+    /// experiment would average away, and a worker that merely dodged
+    /// every conflict must not dominate the estimate.
+    pub fn throughput(&self) -> f64 {
+        let mut rates: Vec<f64> = self
+            .workers
+            .iter()
+            .filter(|w| w.vtime_ns > 0)
+            .map(|w| w.samples.len() as f64 / (w.vtime_ns as f64 / 1e9))
+            .collect();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        let median = rates[rates.len() / 2];
+        median * self.workers.len() as f64
+    }
+
+    /// Throughput counting only transactions with `label` (e.g. TPC-C
+    /// counts new-order throughput while the full mix runs, §7.2):
+    /// the overall rate scaled by the label's share of the mix.
+    pub fn throughput_of(&self, label: &str) -> f64 {
+        let total = self.total_txns();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self.counts().get(label).copied().unwrap_or(0);
+        self.throughput() * n as f64 / total as f64
+    }
+
+    /// Latency percentiles (virtual µs) over transactions with `label`
+    /// (`None` = all), e.g. `[0.5, 0.9, 0.99]` for Table 6.
+    pub fn latency_percentiles_us(&self, label: Option<&str>, qs: &[f64]) -> Vec<f64> {
+        let mut lats: Vec<u64> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.samples.iter())
+            .filter(|(l, _)| label.is_none_or(|want| *l == want))
+            .map(|&(_, ns)| ns)
+            .collect();
+        if lats.is_empty() {
+            return qs.iter().map(|_| 0.0).collect();
+        }
+        lats.sort_unstable();
+        qs.iter()
+            .map(|&q| {
+                let idx = ((lats.len() as f64 - 1.0) * q).round() as usize;
+                lats[idx] as f64 / 1e3
+            })
+            .collect()
+    }
+}
+
+/// Runs `iters` transactions on each of `nodes × workers` worker threads.
+///
+/// `make(node, worker_id)` builds the per-worker state; the returned
+/// closure executes one transaction and returns its label. Each worker's
+/// virtual-time meter is reset at the start and harvested at the end.
+pub fn run<F>(
+    nodes: usize,
+    workers: usize,
+    iters: u64,
+    make: impl Fn(NodeId, usize) -> F + Sync,
+    warmup: u64,
+) -> Report
+where
+    F: FnMut(u64) -> &'static str,
+{
+    let mut report = Report::default();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for node in 0..nodes as NodeId {
+            for wid in 0..workers {
+                let make = &make;
+                handles.push(s.spawn(move || {
+                    let mut f = make(node, wid);
+                    for i in 0..warmup {
+                        f(i);
+                    }
+                    vtime::take();
+                    let mut samples = Vec::with_capacity(iters as usize);
+                    for i in 0..iters {
+                        let before = vtime::read();
+                        let label = f(warmup + i);
+                        samples.push((label, vtime::read() - before));
+                    }
+                    WorkerRun { node, samples, vtime_ns: vtime::take() }
+                }));
+            }
+        }
+        for h in handles {
+            report.workers.push(h.join().expect("worker panicked"));
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_counts() {
+        let r = run(
+            2,
+            2,
+            10,
+            |_, _| {
+                |i: u64| {
+                    vtime::charge(1000);
+                    if i % 2 == 0 {
+                        "even"
+                    } else {
+                        "odd"
+                    }
+                }
+            },
+            0,
+        );
+        assert_eq!(r.total_txns(), 40);
+        assert_eq!(r.counts()["even"], 20);
+        // 4 workers × (1 txn / 1000 ns) = 4e6 tps.
+        assert!((r.throughput() - 4e6).abs() < 1e-3 * 4e6);
+        assert!((r.throughput_of("even") - 2e6).abs() < 1e-3 * 2e6);
+    }
+
+    #[test]
+    fn warmup_excluded() {
+        let r = run(
+            1,
+            1,
+            5,
+            |_, _| {
+                let mut calls = 0u64;
+                move |_| {
+                    calls += 1;
+                    vtime::charge(if calls <= 3 { 1_000_000 } else { 10 });
+                    "t"
+                }
+            },
+            3,
+        );
+        assert_eq!(r.total_txns(), 5);
+        assert!(r.workers[0].vtime_ns <= 100, "warmup cost must not be counted");
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let r = run(
+            1,
+            1,
+            100,
+            |_, _| {
+                let mut i = 0u64;
+                move |_| {
+                    i += 1;
+                    vtime::charge(i * 100);
+                    "t"
+                }
+            },
+            0,
+        );
+        let ps = r.latency_percentiles_us(Some("t"), &[0.5, 0.9, 0.99]);
+        assert!(ps[0] < ps[1] && ps[1] < ps[2]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Key → record-address resolution.
+//!
+//! Before a DrTM transaction starts, the worker resolves every key in its
+//! declared read/write sets to a [`RecordAddr`]:
+//!
+//! * **local keys** — a validated standalone HTM lookup on the worker's
+//!   own region (cheap, no network);
+//! * **remote keys** — a one-sided lookup through the machine-shared
+//!   [`LocationCache`] (§5.3): a warm cache answers with zero RDMA READs,
+//!   and staleness is caught by the incarnation check on the first fetch
+//!   of the record.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use drtm_core::{RecordAddr, Worker};
+use drtm_memstore::{ClusterHash, LocationCache, LookupResult};
+use drtm_rdma::NodeId;
+
+/// One logical table, instantiated once per machine (identical geometry
+/// everywhere), plus per-client-machine location caches.
+pub struct Table {
+    /// Table instances indexed by owning node.
+    pub shards: Vec<Arc<ClusterHash>>,
+    /// `caches[client][server]`, created lazily.
+    caches: RwLock<HashMap<(NodeId, NodeId), Arc<LocationCache>>>,
+    /// Cache geometry for lazily created caches.
+    cache_buckets: usize,
+    cache_pool: usize,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl Table {
+    /// Wraps per-node shards with default cache sizing (enough for the
+    /// whole remote main-header array).
+    pub fn new(shards: Vec<Arc<ClusterHash>>) -> Self {
+        let buckets = shards.first().map(|s| s.desc().main_buckets).unwrap_or(1);
+        Table {
+            shards,
+            caches: RwLock::new(HashMap::new()),
+            cache_buckets: buckets,
+            cache_pool: (buckets / 4).max(16),
+        }
+    }
+
+    /// Value capacity of this table.
+    pub fn value_cap(&self) -> usize {
+        self.shards[0].desc().value_cap
+    }
+
+    /// The shard owned by `node`.
+    pub fn shard(&self, node: NodeId) -> &Arc<ClusterHash> {
+        &self.shards[node as usize]
+    }
+
+    /// The location cache used by `client` for `server`'s shard.
+    pub fn cache(&self, client: NodeId, server: NodeId) -> Arc<LocationCache> {
+        if let Some(c) = self.caches.read().get(&(client, server)) {
+            return c.clone();
+        }
+        let mut w = self.caches.write();
+        w.entry((client, server))
+            .or_insert_with(|| Arc::new(LocationCache::new(self.cache_buckets, self.cache_pool)))
+            .clone()
+    }
+
+    /// Resolves `key` on `server` from `worker`'s machine.
+    ///
+    /// Local keys use a validated HTM lookup; remote keys go through the
+    /// location cache. Returns `None` if the key does not exist.
+    pub fn resolve(&self, worker: &Worker, server: NodeId, key: u64) -> Option<RecordAddr> {
+        let cap = self.value_cap();
+        if server == worker.node {
+            let region = worker.region().clone();
+            let table = self.shard(server);
+            loop {
+                let mut txn = region.begin(worker.executor().config());
+                if let Ok(found) = table.get_local(&mut txn, key) {
+                    if txn.commit().is_ok() {
+                        return found
+                            .map(|e| RecordAddr::new(drtm_rdma::GlobalAddr::new(server, e.offset), cap));
+                    }
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            let cache = self.cache(worker.node, server);
+            let table = self.shard(server);
+            cache
+                .lookup(worker.qp(), table, key)
+                .map(|(addr, _slot, _reads)| RecordAddr::new(addr, cap))
+        }
+    }
+
+    /// Uncached resolution (used to measure the cache's benefit).
+    pub fn resolve_uncached(&self, worker: &Worker, server: NodeId, key: u64) -> Option<RecordAddr> {
+        if server == worker.node {
+            return self.resolve(worker, server, key);
+        }
+        match self.shard(server).remote_lookup(worker.qp(), key) {
+            LookupResult::Found { addr, .. } => Some(RecordAddr::new(addr, self.value_cap())),
+            LookupResult::NotFound { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_core::{DrTm, DrTmConfig, NodeLayout};
+    use drtm_htm::{Executor, HtmStats};
+    use drtm_memstore::Arena;
+    use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile};
+
+    fn build() -> (Arc<DrTm>, Table) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 8 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let cfg = DrTmConfig::default();
+        let mut shards = Vec::new();
+        let mut layouts = Vec::new();
+        for n in 0..2u16 {
+            let mut arena = Arena::new(0, 8 << 20);
+            layouts.push(NodeLayout::reserve(&mut arena, 1));
+            let t = ClusterHash::create(&mut arena, n, 64, 1000, 16);
+            let exec = Executor::new(cfg.htm.clone(), Arc::new(HtmStats::new()));
+            for k in 0..50u64 {
+                t.insert(&exec, cluster.node(n).region(), k, &(k + n as u64 * 1000).to_le_bytes())
+                    .unwrap();
+            }
+            shards.push(Arc::new(t));
+        }
+        let sys = DrTm::new(cluster, cfg, layouts);
+        (sys, Table::new(shards))
+    }
+
+    #[test]
+    fn local_and_remote_resolution() {
+        let (sys, table) = build();
+        let w = sys.worker(0, 0);
+        let local = table.resolve(&w, 0, 7).expect("local key");
+        assert_eq!(local.addr.node, 0);
+        let remote = table.resolve(&w, 1, 7).expect("remote key");
+        assert_eq!(remote.addr.node, 1);
+        assert!(table.resolve(&w, 1, 999).is_none());
+    }
+
+    #[test]
+    fn cache_eliminates_repeat_lookup_reads() {
+        let (sys, table) = build();
+        let w = sys.worker(0, 0);
+        table.resolve(&w, 1, 3).unwrap();
+        let before = sys.cluster().counters().snapshot();
+        table.resolve(&w, 1, 3).unwrap();
+        let d = sys.cluster().counters().snapshot().since(&before);
+        assert_eq!(d.reads, 0, "warm cache lookup must be free");
+    }
+
+    #[test]
+    fn caches_are_per_client_server_pair() {
+        let (_sys, table) = build();
+        let c01 = table.cache(0, 1);
+        let c01b = table.cache(0, 1);
+        let c10 = table.cache(1, 0);
+        assert!(Arc::ptr_eq(&c01, &c01b));
+        assert!(!Arc::ptr_eq(&c01, &c10));
+    }
+}

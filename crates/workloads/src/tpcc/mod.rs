@@ -1,0 +1,457 @@
+//! TPC-C (§7.1): warehouse-centric order processing.
+//!
+//! The database is partitioned by warehouse across machines (the paper
+//! runs one warehouse per worker thread). Unordered tables (warehouse,
+//! district, customer, stock, item, order, order-line, history) live in
+//! the cluster-chaining hash table; ordered access paths (new-order
+//! queue, customer→order index, customer-by-name index) live in the
+//! HTM-protected B+ tree, which is local-only — exactly the paper's
+//! split (§5, §6.5).
+//!
+//! Scaled-down population (items, customers/district) keeps the paper's
+//! schema and transaction logic while fitting a single build box; every
+//! scale knob is in [`TpccConfig`].
+
+pub mod keys;
+pub mod scan_rpc;
+mod txns;
+
+pub use txns::TpccWorker;
+
+use std::sync::Arc;
+
+use drtm_core::{DrTm, DrTmConfig, NodeLayout, SoftTimer};
+use drtm_htm::{Executor, HtmStats};
+use drtm_memstore::{Arena, BTree, ClusterHash};
+use drtm_rdma::{AtomicityLevel, Cluster, ClusterConfig, LatencyProfile, NodeId};
+
+use crate::pack_fields;
+use crate::resolve::Table;
+
+/// 16-bit mixing hash used for name indexing.
+pub fn hash16(x: u64) -> u64 {
+    drtm_memstore::hash64(x) & 0xFFFF
+}
+
+/// TPC-C sizing and behaviour.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Simulated machines.
+    pub nodes: usize,
+    /// Worker threads per machine (= warehouses per machine, §7.2).
+    pub workers: usize,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts: u64,
+    /// Customers per district (TPC-C: 3000; scaled down by default).
+    pub customers_per_district: u64,
+    /// Items in the catalogue (TPC-C: 100 000; scaled down by default).
+    pub items: u64,
+    /// Probability a new-order item line is supplied by a non-home
+    /// warehouse (TPC-C default 1 %; the x-axis of Figure 16).
+    pub cross_warehouse_new_order: f64,
+    /// Probability payment pays a customer of another warehouse (15 %).
+    pub cross_warehouse_payment: f64,
+    /// Capacity headroom: new orders each node may insert during a run.
+    pub max_new_orders_per_node: usize,
+    /// Region bytes per machine.
+    pub region_size: usize,
+    /// Network cost model.
+    pub profile: LatencyProfile,
+    /// NIC atomics coherence level (§6.3 ablation).
+    pub atomicity: AtomicityLevel,
+    /// Transaction-layer configuration.
+    pub drtm: DrTmConfig,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            nodes: 2,
+            workers: 2,
+            districts: 10,
+            customers_per_district: 120,
+            items: 2_000,
+            cross_warehouse_new_order: 0.01,
+            cross_warehouse_payment: 0.15,
+            max_new_orders_per_node: 60_000,
+            region_size: 192 << 20,
+            profile: LatencyProfile::rdma(),
+            atomicity: AtomicityLevel::Hca,
+            drtm: DrTmConfig::default(),
+        }
+    }
+}
+
+impl TpccConfig {
+    /// Total warehouses in the cluster.
+    pub fn warehouses(&self) -> u64 {
+        (self.nodes * self.workers) as u64
+    }
+
+    /// The machine owning warehouse `w`.
+    pub fn node_of_warehouse(&self, w: u64) -> NodeId {
+        (w / self.workers as u64) as NodeId
+    }
+}
+
+/// Value-field layouts (packed `u64` little-endian arrays).
+pub mod val {
+    /// warehouse: `[ytd, tax_e4]`.
+    pub const WAREHOUSE: usize = 16;
+    /// district: `[ytd, tax_e4, next_o_id]`.
+    pub const DISTRICT: usize = 24;
+    /// customer: `[balance, ytd_payment, payment_cnt, delivery_cnt, last_name_id]`.
+    pub const CUSTOMER: usize = 40;
+    /// stock: `[quantity, ytd, order_cnt, remote_cnt]`.
+    pub const STOCK: usize = 32;
+    /// item: `[price_e2, name_hash, data_hash]`.
+    pub const ITEM: usize = 24;
+    /// order: `[c_id, entry_ts, carrier_id, ol_cnt]`.
+    pub const ORDER: usize = 32;
+    /// order-line: `[i_id, supply_w, qty, amount_e2, delivery_ts]`.
+    pub const ORDER_LINE: usize = 40;
+    /// history: `[w, d, c, amount_e2, ts]`.
+    pub const HISTORY: usize = 40;
+}
+
+/// A built TPC-C deployment.
+pub struct Tpcc {
+    /// The transaction system.
+    pub sys: Arc<DrTm>,
+    /// Hash tables.
+    pub warehouse: Arc<Table>,
+    /// District rows (one per warehouse × district).
+    pub district: Arc<Table>,
+    /// Customer rows.
+    pub customer: Arc<Table>,
+    /// Stock rows.
+    pub stock: Arc<Table>,
+    /// Item catalogue — replicated on every machine, always local.
+    pub item: Arc<Table>,
+    /// Order rows.
+    pub order: Arc<Table>,
+    /// Order-line rows.
+    pub order_line: Arc<Table>,
+    /// History rows (insert-only).
+    pub history: Arc<Table>,
+    /// Per-node B+ trees: undelivered new-orders.
+    pub new_order_idx: Vec<Arc<BTree>>,
+    /// Per-node B+ trees: customer → order ids.
+    pub cust_order_idx: Vec<Arc<BTree>>,
+    /// Per-node B+ trees: (last-name hash) → customer ids.
+    pub cust_name_idx: Vec<Arc<BTree>>,
+    /// The configuration it was built with.
+    pub cfg: TpccConfig,
+    _timer: SoftTimer,
+    /// Per-node ordered-store scan services (§6.5 remote range queries).
+    _scan_services: Vec<scan_rpc::ScanServiceGuard>,
+}
+
+impl Tpcc {
+    /// Builds the cluster and populates the standard TPC-C rows.
+    pub fn build(cfg: TpccConfig) -> Tpcc {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: cfg.nodes,
+            region_size: cfg.region_size,
+            profile: cfg.profile.clone(),
+            atomicity: cfg.atomicity,
+        });
+        let wh_per_node = cfg.workers as u64;
+        let dists = wh_per_node * cfg.districts;
+        let custs = dists * cfg.customers_per_district;
+        let stock_rows = wh_per_node * cfg.items;
+        let init_orders = custs; // one seed order per customer
+        let order_cap = init_orders as usize + cfg.max_new_orders_per_node;
+        let ol_cap = order_cap * 15;
+
+        let mut layouts = Vec::new();
+        let mut shards: Vec<Vec<Arc<ClusterHash>>> = (0..8).map(|_| Vec::new()).collect();
+        let mut new_order_idx = Vec::new();
+        let mut cust_order_idx = Vec::new();
+        let mut cust_name_idx = Vec::new();
+
+        for n in 0..cfg.nodes as NodeId {
+            let region = cluster.node(n).region();
+            let mut arena = Arena::new(0, cfg.region_size);
+            layouts.push(NodeLayout::reserve(&mut arena, cfg.workers));
+            let mk = |arena: &mut Arena, rows: usize, cap: usize| {
+                Arc::new(ClusterHash::create(arena, n, (rows / 4).max(16), cap, 0))
+            };
+            let _ = mk; // value_cap varies; build each table explicitly
+            let t_w = ClusterHash::create(&mut arena, n, 16, wh_per_node as usize + 1, val::WAREHOUSE);
+            let t_d = ClusterHash::create(&mut arena, n, 64, dists as usize + 1, val::DISTRICT);
+            let t_c =
+                ClusterHash::create(&mut arena, n, custs as usize / 4, custs as usize + 1, val::CUSTOMER);
+            let t_s = ClusterHash::create(
+                &mut arena,
+                n,
+                stock_rows as usize / 4,
+                stock_rows as usize + 1,
+                val::STOCK,
+            );
+            let t_i =
+                ClusterHash::create(&mut arena, n, cfg.items as usize / 4, cfg.items as usize + 1, val::ITEM);
+            let t_o = ClusterHash::create(&mut arena, n, order_cap / 4, order_cap, val::ORDER);
+            let t_ol = ClusterHash::create(&mut arena, n, ol_cap / 4, ol_cap, val::ORDER_LINE);
+            let t_h = ClusterHash::create(&mut arena, n, order_cap / 4, order_cap, val::HISTORY);
+            let no_pool = order_cap / 7 + 64;
+            let tree_no = BTree::create(&mut arena, region, n, no_pool);
+            let tree_co = BTree::create(&mut arena, region, n, order_cap / 7 + 64);
+            let tree_cn = BTree::create(&mut arena, region, n, custs as usize / 7 + 64);
+
+            let exec = Executor::new(cfg.drtm.htm.clone(), Arc::new(HtmStats::new()));
+            populate_node(&cfg, n, region, &exec, Pop {
+                w: &t_w,
+                d: &t_d,
+                c: &t_c,
+                s: &t_s,
+                i: &t_i,
+                o: &t_o,
+                ol: &t_ol,
+                no: &tree_no,
+                co: &tree_co,
+                cn: &tree_cn,
+            });
+
+            for (slot, t) in
+                [t_w, t_d, t_c, t_s, t_i, t_o, t_ol, t_h].into_iter().enumerate()
+            {
+                shards[slot].push(Arc::new(t));
+            }
+            new_order_idx.push(Arc::new(tree_no));
+            cust_order_idx.push(Arc::new(tree_co));
+            cust_name_idx.push(Arc::new(tree_cn));
+        }
+
+        let timer = SoftTimer::start(cluster.clone(), std::time::Duration::from_micros(200));
+        // Ordered-store scan service per machine: tree 0 = new-order
+        // queue, 1 = customer-order index, 2 = customer-name index.
+        let scan_services = (0..cfg.nodes as NodeId)
+            .map(|n| {
+                scan_rpc::spawn_scan_service(
+                    cluster.clone(),
+                    n,
+                    vec![
+                        new_order_idx[n as usize].clone(),
+                        cust_order_idx[n as usize].clone(),
+                        cust_name_idx[n as usize].clone(),
+                    ],
+                    Executor::new(cfg.drtm.htm.clone(), Arc::new(HtmStats::new())),
+                )
+            })
+            .collect();
+        let sys = DrTm::new(cluster, cfg.drtm.clone(), layouts);
+        let mut it = shards.into_iter();
+        Tpcc {
+            sys,
+            warehouse: Arc::new(Table::new(it.next().expect("shards"))),
+            district: Arc::new(Table::new(it.next().expect("shards"))),
+            customer: Arc::new(Table::new(it.next().expect("shards"))),
+            stock: Arc::new(Table::new(it.next().expect("shards"))),
+            item: Arc::new(Table::new(it.next().expect("shards"))),
+            order: Arc::new(Table::new(it.next().expect("shards"))),
+            order_line: Arc::new(Table::new(it.next().expect("shards"))),
+            history: Arc::new(Table::new(it.next().expect("shards"))),
+            new_order_idx,
+            cust_order_idx,
+            cust_name_idx,
+            cfg,
+            _timer: timer,
+            _scan_services: scan_services,
+        }
+    }
+
+    /// Creates a per-thread workload driver bound to one home warehouse.
+    pub fn worker(self: &Arc<Self>, node: NodeId, worker_id: usize) -> TpccWorker {
+        TpccWorker::new(self.clone(), node, worker_id)
+    }
+
+    /// TPC-C consistency condition 1: for every warehouse,
+    /// `W_YTD = Σ D_YTD` over its districts.
+    pub fn check_ytd_consistency(&self) -> bool {
+        let exec = Executor::new(self.cfg.drtm.htm.clone(), Arc::new(HtmStats::new()));
+        for w in 0..self.cfg.warehouses() {
+            let n = self.cfg.node_of_warehouse(w);
+            let region = self.sys.cluster().node(n).region();
+            let read = |table: &Table, key: u64| -> Vec<u64> {
+                loop {
+                    let mut txn = region.begin(exec.config());
+                    if let Ok(Some(e)) = table.shard(n).get_local(&mut txn, key) {
+                        if let Ok(v) = e.read_value(&mut txn) {
+                            if txn.commit().is_ok() {
+                                return crate::fields(&v);
+                            }
+                        }
+                    } else {
+                        panic!("missing row {key}");
+                    }
+                }
+            };
+            let w_ytd = read(&self.warehouse, keys::warehouse(w))[0];
+            let d_sum: u64 = (0..self.cfg.districts)
+                .map(|d| read(&self.district, keys::district(w, d))[0])
+                .sum();
+            if w_ytd != d_sum {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// TPC-C consistency condition 2/3 (simplified): for every district,
+    /// `next_o_id - 1` equals the largest order id in both the order
+    /// table's customer index and the new-order tree's district range.
+    pub fn check_order_consistency(&self) -> bool {
+        let exec = Executor::new(self.cfg.drtm.htm.clone(), Arc::new(HtmStats::new()));
+        for w in 0..self.cfg.warehouses() {
+            let n = self.cfg.node_of_warehouse(w);
+            let region = self.sys.cluster().node(n).region();
+            for d in 0..self.cfg.districts {
+                loop {
+                    let mut txn = region.begin(exec.config());
+                    let ok = (|| -> Result<Option<bool>, drtm_htm::Abort> {
+                        let Some(e) =
+                            self.district.shard(n).get_local(&mut txn, keys::district(w, d))?
+                        else {
+                            return Ok(Some(false));
+                        };
+                        let next = crate::fields(&e.read_value(&mut txn)?)[2];
+                        let (lo, hi) = keys::new_order_range(w, d);
+                        let max_no =
+                            self.new_order_idx[n as usize].max_in_range(&mut txn, lo, hi)?;
+                        if let Some((k, _)) = max_no {
+                            if (k & ((1 << 36) - 1)) >= next {
+                                return Ok(Some(false));
+                            }
+                        }
+                        Ok(Some(true))
+                    })();
+                    match ok {
+                        Ok(Some(good)) if txn.commit().is_ok() => {
+                            if !good {
+                                return false;
+                            }
+                            break;
+                        }
+                        _ => continue,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+struct Pop<'a> {
+    w: &'a ClusterHash,
+    d: &'a ClusterHash,
+    c: &'a ClusterHash,
+    s: &'a ClusterHash,
+    i: &'a ClusterHash,
+    o: &'a ClusterHash,
+    ol: &'a ClusterHash,
+    no: &'a BTree,
+    co: &'a BTree,
+    cn: &'a BTree,
+}
+
+/// Standard TPC-C population for one machine (its warehouses + the
+/// replicated item catalogue).
+fn populate_node(
+    cfg: &TpccConfig,
+    n: NodeId,
+    region: &drtm_htm::Region,
+    exec: &Executor,
+    t: Pop<'_>,
+) {
+    use keys::*;
+    // Item catalogue: replicated identically on every machine.
+    for i in 0..cfg.items {
+        let price = 100 + (i * 37) % 9900; // cents
+        t.i.insert(exec, region, i, &pack_fields(&[price, hash16(i), hash16(i * 3)]))
+            .expect("item");
+    }
+    let wh_per_node = cfg.workers as u64;
+    for wl in 0..wh_per_node {
+        let w = n as u64 * wh_per_node + wl;
+        t.w.insert(exec, region, warehouse(w), &pack_fields(&[0, 750])).expect("warehouse");
+        for d in 0..cfg.districts {
+            t.d.insert(exec, region, district(w, d), &pack_fields(&[0, 850, cfg.customers_per_district]))
+                .expect("district");
+            for c in 0..cfg.customers_per_district {
+                let last_name_id = c % 97; // clustered last names, like the spec's NURand
+                t.c.insert(
+                    exec,
+                    region,
+                    customer(w, d, c),
+                    &pack_fields(&[0, 0, 0, 0, last_name_id]),
+                )
+                .expect("customer");
+                tree_insert(region, exec, t.cn, cust_name(w, d, hash16(last_name_id), c), c);
+                // One seed order per customer (order id = customer id).
+                let o = c;
+                t.o.insert(exec, region, order(w, d, o), &pack_fields(&[c, 0, 1, 1]))
+                    .expect("order");
+                t.ol
+                    .insert(
+                        exec,
+                        region,
+                        order_line(w, d, o, 0),
+                        &pack_fields(&[o % cfg.items, w, 5, 500, 1]),
+                    )
+                    .expect("order line");
+                tree_insert(region, exec, t.co, cust_order(w, d, c, o), o);
+                // The youngest third of seed orders are undelivered.
+                if c * 3 >= cfg.customers_per_district * 2 {
+                    tree_insert(region, exec, t.no, order(w, d, o), o);
+                }
+            }
+        }
+        for i in 0..cfg.items {
+            t.s.insert(exec, region, stock(w, i), &pack_fields(&[50 + (i % 50), 0, 0, 0]))
+                .expect("stock");
+        }
+    }
+}
+
+/// Committed standalone tree insert (population only).
+fn tree_insert(region: &drtm_htm::Region, exec: &Executor, tree: &BTree, k: u64, v: u64) {
+    loop {
+        let mut txn = region.begin(exec.config());
+        if tree.insert(&mut txn, k, v).is_ok() && txn.commit().is_ok() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny() -> TpccConfig {
+        TpccConfig {
+            nodes: 2,
+            workers: 2,
+            districts: 3,
+            customers_per_district: 30,
+            items: 200,
+            cross_warehouse_new_order: 0.1,
+            cross_warehouse_payment: 0.2,
+            max_new_orders_per_node: 5_000,
+            region_size: 48 << 20,
+            profile: LatencyProfile::zero(),
+            atomicity: AtomicityLevel::Hca,
+            drtm: DrTmConfig::default(),
+        }
+    }
+
+    #[test]
+    fn population_is_consistent() {
+        let t = Tpcc::build(tiny());
+        assert!(t.check_ytd_consistency());
+        assert!(t.check_order_consistency());
+        assert_eq!(t.cfg.warehouses(), 4);
+        assert_eq!(t.cfg.node_of_warehouse(0), 0);
+        assert_eq!(t.cfg.node_of_warehouse(3), 1);
+    }
+}

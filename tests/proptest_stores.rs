@@ -1,0 +1,175 @@
+//! Property-based tests of the storage substrates against model
+//! implementations (`std` maps), plus encoding invariants.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use drtm::htm::{Executor, HtmConfig, HtmStats, Region};
+use drtm::memstore::{Arena, BTree, ClusterHash, InsertError, Slot, SlotType};
+use drtm::txn::LockState;
+
+/// Operations the hash-table model understands.
+#[derive(Debug, Clone)]
+enum HashOp {
+    Insert(u64, Vec<u8>),
+    Delete(u64),
+    Get(u64),
+}
+
+fn hash_op() -> impl Strategy<Value = HashOp> {
+    prop_oneof![
+        (0u64..64, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(|(k, v)| HashOp::Insert(k, v)),
+        (0u64..64).prop_map(HashOp::Delete),
+        (0u64..64).prop_map(HashOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The cluster-chaining hash table behaves exactly like a HashMap
+    /// under arbitrary insert/delete/get sequences (single node; keys
+    /// deliberately colliding into one bucket chain now and then).
+    #[test]
+    fn cluster_hash_matches_model(ops in proptest::collection::vec(hash_op(), 1..120)) {
+        let region = Region::new(4 << 20);
+        let mut arena = Arena::new(64, (4 << 20) - 64);
+        // 4 main buckets force heavy chaining.
+        let table = ClusterHash::create(&mut arena, 0, 4, 256, 16);
+        let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                HashOp::Insert(k, v) => {
+                    let got = table.insert(&exec, &region, k, &v);
+                    if model.contains_key(&k) {
+                        prop_assert_eq!(got, Err(InsertError::Duplicate));
+                    } else {
+                        prop_assert!(got.is_ok());
+                        model.insert(k, v);
+                    }
+                }
+                HashOp::Delete(k) => {
+                    let got = table.delete(&exec, &region, k);
+                    prop_assert_eq!(got, model.remove(&k).is_some());
+                }
+                HashOp::Get(k) => {
+                    let mut txn = region.begin(exec.config());
+                    let got = table
+                        .get_local(&mut txn, k)
+                        .unwrap()
+                        .map(|e| e.read_value(&mut txn).unwrap());
+                    prop_assert_eq!(got, model.get(&k).cloned());
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+
+    /// The HTM B+ tree behaves exactly like a BTreeMap, including range
+    /// scans, under arbitrary operation sequences.
+    #[test]
+    fn btree_matches_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u64..512, any::<u64>()).prop_map(|(k, v)| (0u8, k, v)),
+                (0u64..512).prop_map(|k| (1u8, k, 0)),
+                (0u64..512, 0u64..512).prop_map(|(a, b)| (2u8, a.min(b), a.max(b))),
+            ],
+            1..150,
+        )
+    ) {
+        let region = Region::new(8 << 20);
+        let mut arena = Arena::new(0, 8 << 20);
+        let tree = BTree::create(&mut arena, &region, 0, 4096);
+        let cfg = HtmConfig { read_capacity_lines: 1 << 16, write_capacity_lines: 1 << 15, ..Default::default() };
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let run = |f: &mut dyn FnMut(&mut drtm::htm::HtmTxn<'_>) -> Result<(), drtm::htm::Abort>| {
+            loop {
+                let mut txn = region.begin(&cfg);
+                if f(&mut txn).is_ok() && txn.commit().is_ok() {
+                    return;
+                }
+            }
+        };
+        for (kind, a, b) in ops {
+            match kind {
+                0 => {
+                    run(&mut |txn| tree.insert(txn, a, b).map(|_| ()));
+                    model.insert(a, b);
+                }
+                1 => {
+                    let mut got = false;
+                    run(&mut |txn| {
+                        got = tree.remove(txn, a)?;
+                        Ok(())
+                    });
+                    prop_assert_eq!(got, model.remove(&a).is_some());
+                }
+                _ => {
+                    let mut got = Vec::new();
+                    run(&mut |txn| {
+                        got = tree.scan_range(txn, a, b, usize::MAX)?;
+                        Ok(())
+                    });
+                    let want: Vec<(u64, u64)> =
+                        model.range(a..=b).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    /// Slot encoding roundtrips for every field combination.
+    #[test]
+    fn slot_encoding_roundtrips(key in any::<u64>(), off in 0u64..(1 << 48), inc in any::<u32>()) {
+        let s = Slot::entry(key, off, inc);
+        let (m, k) = s.encode();
+        let d = Slot::decode(m, k);
+        prop_assert_eq!(d.typ, SlotType::Entry);
+        prop_assert_eq!(d.key, key);
+        prop_assert_eq!(d.offset, off);
+        prop_assert!(d.incarnation_matches(inc));
+        // A bumped incarnation is always detected.
+        prop_assert!(!d.incarnation_matches(inc.wrapping_add(1)));
+    }
+
+    /// Lock-state words roundtrip and the lease windows are exclusive.
+    #[test]
+    fn lock_state_invariants(end in 1u64..(1 << 54), now in 0u64..(1 << 54), delta in 0u64..1000) {
+        let lease = LockState::leased(end);
+        prop_assert!(!lease.is_write_locked());
+        prop_assert_eq!(lease.lease_end_us(), end);
+        // VALID and EXPIRED can never hold simultaneously.
+        prop_assert!(!(lease.lease_valid(now, delta) && lease.lease_expired(now, delta)));
+        let lock = LockState::write_locked((now % 256) as u8);
+        prop_assert!(lock.is_write_locked());
+        prop_assert_eq!(lock.owner() as u64, now % 256);
+        prop_assert!(!lock.lease_valid(now, delta));
+    }
+
+    /// Transactional writes never tear: a concurrent HTM commit is
+    /// either fully visible or not at all.
+    #[test]
+    fn htm_commits_are_atomic(vals in proptest::collection::vec(any::<u64>(), 4), seed in any::<u64>()) {
+        let region = Region::new(4096);
+        let cfg = HtmConfig::default();
+        let mut txn = region.begin(&cfg);
+        for (i, v) in vals.iter().enumerate() {
+            txn.write_u64(i * 64, *v).unwrap();
+        }
+        if seed % 2 == 0 {
+            txn.commit().unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                prop_assert_eq!(region.read_u64_nt(i * 64), *v);
+            }
+        } else {
+            drop(txn); // abort
+            for i in 0..vals.len() {
+                prop_assert_eq!(region.read_u64_nt(i * 64), 0);
+            }
+        }
+    }
+}
