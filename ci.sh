@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root.
+#
+# Tier-1 (the bar every change must clear):
+#   cargo build --release && cargo test -q
+# plus style/lint gates:
+#   cargo fmt --all -- --check
+#   cargo clippy --workspace --all-targets -- -D warnings
+#
+# The build is fully offline: third-party deps resolve to the minimal
+# vendored stubs under vendor/ via [patch.crates-io] in Cargo.toml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests (workspace superset) =="
+cargo test -q --workspace
+
+echo "== style: rustfmt =="
+cargo fmt --all -- --check
+
+echo "== lint: clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

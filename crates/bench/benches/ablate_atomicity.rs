@@ -38,7 +38,7 @@ fn run_one(atomicity: AtomicityLevel, iters: u64) -> f64 {
                 i += 1;
                 // 20 % order-status (read-only, lease-heavy) + standard
                 // mix, to surface the local-CAS effect at small scale.
-                if i % 5 == 0 {
+                if i.is_multiple_of(5) {
                     w.order_status()
                 } else {
                     w.run_one()

@@ -28,7 +28,8 @@ fn main() {
         ..Default::default()
     });
     let mut arena = Arena::new(64, (64 << 20) - 64);
-    let table = Arc::new(ClusterHash::create(&mut arena, 0, keys as usize / 4, 2 * keys as usize, 64));
+    let table =
+        Arc::new(ClusterHash::create(&mut arena, 0, keys as usize / 4, 2 * keys as usize, 64));
     let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
     let region = cluster.node(0).region();
     for k in 0..keys {
@@ -55,13 +56,7 @@ fn main() {
     vtime::take();
     for _ in 0..n / 10 {
         // Shipping is slow; fewer iterations suffice for a stable mean.
-        let r = ship_store_op(
-            &cluster,
-            1,
-            0,
-            600,
-            &StoreOp::Delete { table: 0, key: 2 },
-        );
+        let r = ship_store_op(&cluster, 1, 0, 600, &StoreOp::Delete { table: 0, key: 2 });
         assert!(matches!(r, StoreReply::Ok | StoreReply::NotFound));
         let r = ship_store_op(
             &cluster,

@@ -44,9 +44,6 @@ fn main() {
         }
         row(&cols);
     }
-    assert!(
-        first_cached > 0.0 && first_inline > 0.0,
-        "both systems must produce throughput"
-    );
+    assert!(first_cached > 0.0 && first_inline > 0.0, "both systems must produce throughput");
     println!("(paper: DrTM-KV/$ best overall; FaRM-KV/I good small, collapses with size)");
 }

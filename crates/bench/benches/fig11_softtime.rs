@@ -78,7 +78,11 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (p, r) = (mean(&perop_fast), mean(&reuse_fast));
-    println!("fast-timer mean abort rate: per-op {:.2}% vs reuse-start {:.2}%", p * 100.0, r * 100.0);
+    println!(
+        "fast-timer mean abort rate: per-op {:.2}% vs reuse-start {:.2}%",
+        p * 100.0,
+        r * 100.0
+    );
     assert!(
         r <= p * 1.5,
         "reuse-start must not abort substantially more than per-op under fast timers"

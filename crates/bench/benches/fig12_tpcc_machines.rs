@@ -1,8 +1,8 @@
 //! Figure 12: TPC-C throughput with increasing machine count, DrTM vs
 //! the Calvin baseline (new-order and standard-mix).
 
-use drtm_bench::runners::{calvin_run, tpcc_run};
-use drtm_bench::{banner, mops, row, scaled};
+use drtm_bench::runners::{calvin_run, tpcc_run_with};
+use drtm_bench::{banner, diagnostics, mops, row, scaled};
 use drtm_calvin::{Calvin, CalvinConfig};
 use drtm_workloads::tpcc::TpccConfig;
 
@@ -32,7 +32,7 @@ fn main() {
     let mut last_ratio = 0.0;
     let mut drtm_curve = Vec::new();
     for nodes in 1..=6usize {
-        let rep = tpcc_run(drtm_cfg(nodes), iters, warmup);
+        let (rep, diag) = tpcc_run_with(drtm_cfg(nodes), iters, warmup);
         let std_mix = rep.throughput();
         let new_order = rep.throughput_of("new_order");
         let ccfg = CalvinConfig {
@@ -55,6 +55,9 @@ fn main() {
             mops(calvin_std),
             format!("{last_ratio:.1}x"),
         ]);
+        if nodes == 6 {
+            diagnostics("DrTM, 6 machines", &diag);
+        }
     }
     assert!(
         drtm_curve.last().expect("6 points") > &(drtm_curve[0] * 2.0),

@@ -45,8 +45,11 @@ fn main() {
     }
     let slow5 = 1.0 - at5 / base;
     let slow100 = 1.0 - at100 / base;
-    println!("slowdown at 5%: {:.1}% (paper ~15%); at 100%: {:.1}% (paper ~85%)",
-        slow5 * 100.0, slow100 * 100.0);
+    println!(
+        "slowdown at 5%: {:.1}% (paper ~15%); at 100%: {:.1}% (paper ~85%)",
+        slow5 * 100.0,
+        slow100 * 100.0
+    );
     assert!(slow5 < 0.45, "moderate slowdown at 5% cross-warehouse");
     assert!(slow100 > 0.5, "severe slowdown when everything is distributed");
     assert!(slow100 > slow5, "slowdown must grow with distribution");

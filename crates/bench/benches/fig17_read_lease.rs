@@ -6,7 +6,7 @@
 //! (one read of 120 globally hot records) with increasing machines.
 
 use drtm_bench::runners::{micro_run, micro_run_with};
-use drtm_bench::{banner, mops, row, scaled};
+use drtm_bench::{banner, diagnostics, mops, row, scaled};
 use drtm_workloads::micro::MicroConfig;
 
 fn cfg(nodes: usize, lease: bool) -> MicroConfig {
@@ -69,8 +69,8 @@ fn main() {
         let with = rep_w.throughput() / nodes as f64;
         let without = rep_o.throughput() / nodes as f64;
         last_gain = with / without;
-        let cw = 1000.0 * st_w.start_conflicts as f64 / st_w.committed.max(1) as f64;
-        let co = 1000.0 * st_o.start_conflicts as f64 / st_o.committed.max(1) as f64;
+        let cw = 1000.0 * st_w.txn.start_conflicts as f64 / st_w.txn.committed.max(1) as f64;
+        let co = 1000.0 * st_o.txn.start_conflicts as f64 / st_o.txn.committed.max(1) as f64;
         if nodes == 2 {
             // At 2 machines the uniform-pool write-write background is
             // smallest, so the hot-record locking signal is cleanest.
@@ -101,10 +101,12 @@ fn main() {
     println!(
         "hot-read-only transactions: {share_gain:.2}x throughput with leases; lock \
          conflicts {} (lease) vs {} (exclusive)",
-        st_w.start_conflicts, st_o.start_conflicts
+        st_w.txn.start_conflicts, st_o.txn.start_conflicts
     );
+    diagnostics("hot-read-only, leases on", &st_w);
+    diagnostics("hot-read-only, leases off", &st_o);
     assert!(
-        st_o.start_conflicts >= st_w.start_conflicts,
+        st_o.txn.start_conflicts >= st_w.txn.start_conflicts,
         "exclusive locks on hot records must conflict at least as much as shared leases"
     );
     assert!(share_gain > 1.0, "pure hot readers must benefit from lease sharing");

@@ -20,10 +20,16 @@ fn main() {
         m.sys.htm_stats().reset();
         m.sys.stats().reset();
         let m2 = m.clone();
-        let rep = run(2, 4, 300, move |n, w| {
-            let mut wk = m2.worker(n, w);
-            move |_| wk.hotspot()
-        }, 50);
+        let rep = run(
+            2,
+            4,
+            300,
+            move |n, w| {
+                let mut wk = m2.worker(n, w);
+                move |_| wk.hotspot()
+            },
+            50,
+        );
         let s = m.sys.stats().snapshot();
         let h = m.sys.htm_stats().snapshot();
         println!("lease={lease} tput={:.3}M commit={} fallback={} start_conf={} lease_fail={} htm_aborts(c/cap/e)={}/{}/{} fb={}",

@@ -46,9 +46,7 @@ fn bench_rdma(c: &mut Criterion) {
     });
     let qp = cluster.qp(1);
     let mut buf = [0u8; 64];
-    c.bench_function("rdma_read_64B", |b| {
-        b.iter(|| qp.read(GlobalAddr::new(0, 4096), &mut buf))
-    });
+    c.bench_function("rdma_read_64B", |b| b.iter(|| qp.read(GlobalAddr::new(0, 4096), &mut buf)));
     c.bench_function("rdma_cas", |b| b.iter(|| qp.cas_u64(GlobalAddr::new(0, 0), 0, 0)));
 }
 

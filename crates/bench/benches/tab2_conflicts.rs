@@ -96,8 +96,13 @@ fn remote_first(local_write: bool, remote_write: bool) -> char {
 fn main() {
     banner("tab2", "conflict matrix between local and distributed transactions");
     println!("(paper Table 2: columns = remote op & order; S = share, C = conflict)");
-    row(&["".into(), "R_RD after".into(), "R_RD before".into(), "R_WR after".into(), "R_WR before".into()]
-        .to_vec());
+    row(&[
+        "".into(),
+        "R_RD after".into(),
+        "R_RD before".into(),
+        "R_WR after".into(),
+        "R_WR before".into(),
+    ]);
     let l_rd = [
         local_first(false, false),
         remote_first(false, false),

@@ -20,15 +20,18 @@ fn main() {
     // Fix the slot count to a power of two (table sizes round to powers
     // of two) and vary the key count, so occupancy is exact.
     let slots = (scaled(262_144, 32_768) as u64).next_power_of_two();
-    row(&["dist".into(), "occupancy".into(), "Cuckoo".into(), "Hopscotch".into(), "Cluster".into()]);
+    row(&[
+        "dist".into(),
+        "occupancy".into(),
+        "Cuckoo".into(),
+        "Hopscotch".into(),
+        "Cluster".into(),
+    ]);
     for dname in ["uniform", "zipf0.99"] {
         for occ in [0.5, 0.75, 0.9] {
             let keys = (slots as f64 * occ) as u64;
-            let dist = if dname == "uniform" {
-                KeyDist::uniform(keys)
-            } else {
-                KeyDist::zipf(keys, 0.99)
-            };
+            let dist =
+                if dname == "uniform" { KeyDist::uniform(keys) } else { KeyDist::zipf(keys, 0.99) };
             let cuckoo = avg_reads(KvSystem::Pilaf, keys, occ, &dist);
             let hop = avg_reads(KvSystem::FarmOffset, keys, occ, &dist);
             let cluster = avg_reads(KvSystem::DrtmKv, keys, occ, &dist);

@@ -7,7 +7,7 @@
 //! of magnitude below Calvin's epoch-bound latencies.
 
 use drtm_bench::runners::{calvin_run, tpcc_run_with};
-use drtm_bench::{banner, f, mops, row, scaled};
+use drtm_bench::{banner, diagnostics, f, mops, row, scaled};
 use drtm_calvin::{Calvin, CalvinConfig};
 use drtm_workloads::tpcc::TpccConfig;
 
@@ -36,8 +36,9 @@ fn main() {
             ..Default::default()
         };
         cfg.drtm.logging = logging;
-        let (rep, htm, _txn) = tpcc_run_with(cfg, iters, warmup);
+        let (rep, diag) = tpcc_run_with(cfg, iters, warmup);
         tput[i] = rep.throughput_of("new_order");
+        let htm = diag.htm;
         let commits = htm.commits.max(1) as f64;
         let cap_pct = 100.0 * htm.capacity_aborts as f64 / commits;
         let fb_pct = 100.0 * htm.fallbacks as f64 / commits;
@@ -51,6 +52,7 @@ fn main() {
             f(lat[1]),
             f(lat[2]),
         ]);
+        diagnostics(if logging { "logging on" } else { "logging off" }, &diag);
     }
     let loss = 100.0 * (1.0 - tput[1] / tput[0]);
     println!("throughput loss from logging: {loss:.1}% (paper: 11.6%)");

@@ -87,8 +87,8 @@ impl KvBench {
     pub fn build(system: KvSystem, keys: u64, value_size: usize, occupancy: f64) -> KvBench {
         let slots_needed = (keys as f64 / occupancy).ceil() as usize;
         let entry_fp = drtm_memstore::Entry::footprint(value_size);
-        let region_size = slots_needed * (16 + value_size) * 2 + keys as usize * entry_fp * 2
-            + (64 << 20);
+        let region_size =
+            slots_needed * (16 + value_size) * 2 + keys as usize * entry_fp * 2 + (64 << 20);
         let cluster = Cluster::new(ClusterConfig {
             nodes: 6,
             region_size,
@@ -101,7 +101,8 @@ impl KvBench {
         let mut keys_list: Vec<u64> = Vec::with_capacity(keys as usize);
         let table = match system {
             KvSystem::Pilaf => {
-                let t = CuckooHash::create(&mut arena, 0, slots_needed, keys as usize + 1, value_size);
+                let t =
+                    CuckooHash::create(&mut arena, 0, slots_needed, keys as usize + 1, value_size);
                 let mut k = 1u64;
                 while keys_list.len() < keys as usize {
                     if t.insert(region, k, &vbytes(k, value_size)) {
@@ -182,15 +183,13 @@ impl KvBench {
                 KvSystem::DrtmKvCache { .. } => {
                     let cache = &self.caches[client as usize];
                     match cache.lookup(&qp, t, key) {
-                        Some((addr, slot, reads)) => {
-                            match t.remote_read_entry(&qp, addr, &slot) {
-                                Some(_) => (true, reads),
-                                None => {
-                                    cache.invalidate(t, key);
-                                    (false, reads)
-                                }
+                        Some((addr, slot, reads)) => match t.remote_read_entry(&qp, addr, &slot) {
+                            Some(_) => (true, reads),
+                            None => {
+                                cache.invalidate(t, key);
+                                (false, reads)
                             }
-                        }
+                        },
                         None => (false, 0),
                     }
                 }
@@ -307,7 +306,8 @@ mod tests {
     fn cache_reduces_lookup_reads() {
         let dist = KeyDist::uniform(500);
         let plain = KvBench::build(KvSystem::DrtmKv, 500, 64, 0.75);
-        let cached = KvBench::build(KvSystem::DrtmKvCache { budget: 4 << 20, warm: true }, 500, 64, 0.75);
+        let cached =
+            KvBench::build(KvSystem::DrtmKvCache { budget: 4 << 20, warm: true }, 500, 64, 0.75);
         let r1 = plain.run(1, 1, 500, &dist);
         let r2 = cached.run(1, 1, 500, &dist);
         assert!(

@@ -49,6 +49,15 @@ pub fn mops(x: f64) -> String {
     format!("{:.3}", x / 1e6)
 }
 
+/// Prints a run's joined diagnostics report (abort-cause and per-phase
+/// breakdown alongside the throughput rows), indented under a label.
+pub fn diagnostics(label: &str, report: &drtm_core::StatsReport) {
+    println!("-- diagnostics: {label} --");
+    for line in report.to_string().lines() {
+        println!("  {line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,8 +5,9 @@ use std::sync::Arc;
 use rand::Rng;
 
 use drtm_calvin::{Calvin, CalvinConfig, CalvinTxn};
+use drtm_core::StatsReport;
 use drtm_workloads::dist::rng;
-use drtm_workloads::driver::{run, Report};
+use drtm_workloads::driver::{run, run_diagnosed, Report};
 use drtm_workloads::micro::{Micro, MicroConfig};
 use drtm_workloads::smallbank::{SmallBank, SmallBankConfig};
 use drtm_workloads::tpcc::{Tpcc, TpccConfig};
@@ -16,20 +17,16 @@ pub fn tpcc_run(cfg: TpccConfig, iters: u64, warmup: u64) -> Report {
     tpcc_run_with(cfg, iters, warmup).0
 }
 
-/// Like [`tpcc_run`], also returning the HTM and transaction counters
-/// accumulated during the measured window.
-pub fn tpcc_run_with(
-    cfg: TpccConfig,
-    iters: u64,
-    warmup: u64,
-) -> (Report, drtm_htm::StatsSnapshot, drtm_core::TxnStatsSnapshot) {
+/// Like [`tpcc_run`], also returning the joined diagnostics report
+/// (transaction/HTM/RDMA counters, abort causes, per-phase breakdown)
+/// diffed across the run.
+pub fn tpcc_run_with(cfg: TpccConfig, iters: u64, warmup: u64) -> (Report, StatsReport) {
     let nodes = cfg.nodes;
     let workers = cfg.workers;
     let t = Arc::new(Tpcc::build(cfg));
     let t2 = t.clone();
-    t.sys.htm_stats().reset();
-    t.sys.stats().reset();
-    let rep = run(
+    run_diagnosed(
+        &t.sys,
         nodes,
         workers,
         iters,
@@ -38,8 +35,7 @@ pub fn tpcc_run_with(
             move |_| w.run_one()
         },
         warmup,
-    );
-    (rep, t.sys.htm_stats().snapshot(), t.sys.stats().snapshot())
+    )
 }
 
 /// Builds a TPC-C deployment and runs only new-order transactions.
@@ -63,12 +59,17 @@ pub fn tpcc_run_new_order(cfg: TpccConfig, iters: u64, warmup: u64) -> (Report, 
 
 /// Builds a SmallBank deployment and runs the standard mix.
 pub fn smallbank_run(cfg: SmallBankConfig, iters: u64, warmup: u64) -> Report {
+    smallbank_run_with(cfg, iters, warmup).0
+}
+
+/// Like [`smallbank_run`], also returning the joined diagnostics report.
+pub fn smallbank_run_with(cfg: SmallBankConfig, iters: u64, warmup: u64) -> (Report, StatsReport) {
     let nodes = cfg.nodes;
     let workers = cfg.workers;
-    let sb = SmallBank::build(cfg);
-    let sb = Arc::new(sb);
+    let sb = Arc::new(SmallBank::build(cfg));
     let sb2 = sb.clone();
-    run(
+    run_diagnosed(
+        &sb.sys,
         nodes,
         workers,
         iters,
@@ -86,22 +87,22 @@ pub fn micro_run(cfg: MicroConfig, reads: usize, hotspot: bool, iters: u64, warm
     micro_run_with(cfg, reads, hotspot, iters, warmup).0
 }
 
-/// Like [`micro_run`], also returning the transaction counters (lock
-/// conflicts are the read-lease mechanism's direct signal).
+/// Like [`micro_run`], also returning the joined diagnostics report
+/// (the Start-phase conflict causes are the read-lease mechanism's
+/// direct signal).
 pub fn micro_run_with(
     cfg: MicroConfig,
     reads: usize,
     hotspot: bool,
     iters: u64,
     warmup: u64,
-) -> (Report, drtm_core::TxnStatsSnapshot) {
+) -> (Report, StatsReport) {
     let nodes = cfg.nodes;
     let workers = cfg.workers;
     let m = Arc::new(Micro::build(cfg));
-    m.sys.stats().reset();
-    m.sys.htm_stats().reset();
     let m2 = m.clone();
-    let rep = run(
+    run_diagnosed(
+        &m.sys,
         nodes,
         workers,
         iters,
@@ -110,13 +111,18 @@ pub fn micro_run_with(
             move |_| if hotspot { w.hotspot() } else { w.read_write(reads) }
         },
         warmup,
-    );
-    (rep, m.sys.stats().snapshot())
+    )
 }
 
 /// Generates `n` standard-mix Calvin transactions (same probabilities as
 /// the DrTM TPC-C worker) for warehouses owned by all nodes.
-pub fn calvin_mix(cfg: &CalvinConfig, n: usize, seed: u64, cross_no: f64, cross_pay: f64) -> Vec<CalvinTxn> {
+pub fn calvin_mix(
+    cfg: &CalvinConfig,
+    n: usize,
+    seed: u64,
+    cross_no: f64,
+    cross_pay: f64,
+) -> Vec<CalvinTxn> {
     let mut r = rng(seed);
     let whs = cfg.warehouses();
     (0..n)

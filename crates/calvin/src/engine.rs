@@ -114,8 +114,7 @@ impl Calvin {
     /// Builds and populates a TPC-C database mirroring the DrTM layout.
     pub fn build(cfg: CalvinConfig) -> Calvin {
         let stores: Vec<NodeStore> = (0..cfg.nodes).map(|_| NodeStore::default()).collect();
-        for n in 0..cfg.nodes {
-            let s = &stores[n];
+        for (n, s) in stores.iter().enumerate() {
             for i in 0..cfg.items {
                 s.write(gkey(table::ITEM, i), vec![100 + (i * 37) % 9900, 0, 0]);
             }
@@ -131,7 +130,10 @@ impl Calvin {
                         vec![0, 850, cfg.customers_per_district],
                     );
                     for c in 0..cfg.customers_per_district {
-                        s.write(gkey(table::CUSTOMER, keys::customer(w, d, c)), vec![0, 0, 0, 0, c % 97]);
+                        s.write(
+                            gkey(table::CUSTOMER, keys::customer(w, d, c)),
+                            vec![0, 0, 0, 0, c % 97],
+                        );
                         let o = c;
                         s.write(gkey(table::ORDER, keys::order(w, d, o)), vec![c, 0, 1, 1]);
                         s.write(

@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn gkey_separates_tables() {
         assert_ne!(gkey(table::ORDER, 5), gkey(table::STOCK, 5));
-        assert_eq!(gkey(table::ORDER, 5) & (1 << 60) - 1, 5);
+        assert_eq!(gkey(table::ORDER, 5) & ((1 << 60) - 1), 5);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct DrTmConfig {
     pub logging: bool,
     /// Virtual-time cost of persisting one log record to NVRAM.
     pub nvram_write_ns: u64,
+    /// Capacity of each worker's abort-trace ring buffer (the most
+    /// recent events kept for [`crate::TraceDump`]).
+    pub trace_capacity: usize,
     /// Test hook: simulate a crash of this worker at the given point.
     pub crash_point: Option<CrashPoint>,
 }
@@ -70,6 +73,7 @@ impl Default for DrTmConfig {
             softtime: SofttimeStrategy::ReuseStart,
             logging: false,
             nvram_write_ns: 2_000,
+            trace_capacity: 256,
             crash_point: None,
         }
     }

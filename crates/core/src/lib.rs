@@ -28,11 +28,12 @@ mod ro;
 mod state;
 mod stats;
 mod time;
+mod trace;
 mod txn;
 
 pub use alloc_layout::{LogSlotLayout, NodeLayout};
-pub use drtm_htm::Abort;
 pub use config::{CrashPoint, DrTmConfig, SofttimeStrategy};
+pub use drtm_htm::Abort;
 pub use failure::FailureDetector;
 pub use log::{ChopInfo, LogSlot, LoggedUpdate, LOG_EMPTY, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
 pub use record::{
@@ -45,6 +46,10 @@ pub use ro::{RoCtx, RoRestart};
 pub use state::{LockState, INIT};
 pub use stats::{TxnStats, TxnStatsSnapshot};
 pub use time::{softtime_nt, softtime_txn, wall_now_us, SoftTimer, SOFTTIME_OFF};
+pub use trace::{
+    AbortCause, CauseSnapshot, Phase, PhaseLine, PhaseSnapshot, PhaseStats, StatsReport, TraceBuf,
+    TraceDump, TraceEvent, TraceHub, CAUSE_NAMES, NUM_CAUSES,
+};
 pub use txn::{DrTm, TxnCtx, TxnError, TxnSpec, Worker, USER_ABORT};
 
 /// Re-export of the record module for protocol-level access.

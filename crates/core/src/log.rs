@@ -134,7 +134,11 @@ fn decode_updates(buf: &[u8]) -> Vec<LoggedUpdate> {
             let version = r.u32();
             let len = r.u32() as usize;
             let value = r.bytes(len).to_vec();
-            LoggedUpdate { rec: RecordAddr::new(GlobalAddr::new(node, offset), cap), version, value }
+            LoggedUpdate {
+                rec: RecordAddr::new(GlobalAddr::new(node, offset), cap),
+                version,
+                value,
+            }
         })
         .collect()
 }
@@ -201,7 +205,11 @@ impl LogSlot {
 
     /// Stages the write-ahead log *inside* the HTM transaction: the log
     /// bytes and the status word become visible atomically with `XEND`.
-    pub fn log_write_ahead(&self, txn: &mut HtmTxn<'_>, updates: &[LoggedUpdate]) -> Result<(), Abort> {
+    pub fn log_write_ahead(
+        &self,
+        txn: &mut HtmTxn<'_>,
+        updates: &[LoggedUpdate],
+    ) -> Result<(), Abort> {
         let buf = encode_updates(updates);
         assert!(buf.len() + 4 <= self.layout.write_ahead_cap, "write-ahead log overflow");
         vtime::charge(self.nvram_write_ns + buf.len() as u64 / 8);

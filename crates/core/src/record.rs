@@ -239,7 +239,13 @@ pub fn remote_unlock_via(qp: &Qp, rec: &RecordAddr, local: bool) {
 
 /// [`remote_write_back`] with an explicit path: the fallback handler
 /// applies local updates with coherent stores instead of loopback RDMA.
-pub fn remote_write_back_via(qp: &Qp, rec: &RecordAddr, new_version: u32, value: &[u8], local: bool) {
+pub fn remote_write_back_via(
+    qp: &Qp,
+    rec: &RecordAddr,
+    new_version: u32,
+    value: &[u8],
+    local: bool,
+) {
     if local {
         let region = qp.cluster().node(rec.addr.node).region();
         region.write_nt(rec.addr.offset + 12, &new_version.to_le_bytes());
@@ -254,10 +260,7 @@ pub fn remote_write_back_via(qp: &Qp, rec: &RecordAddr, new_version: u32, value:
 /// `LOCAL_READ` (Figure 6): inside the HTM region, check the state word
 /// (abort if write-locked; leases are overlooked — HTM protects the
 /// read) and read the value.
-pub fn local_read(
-    txn: &mut HtmTxn<'_>,
-    entry_off: usize,
-) -> Result<(EntryHeader, Vec<u8>), Abort> {
+pub fn local_read(txn: &mut HtmTxn<'_>, entry_off: usize) -> Result<(EntryHeader, Vec<u8>), Abort> {
     let entry = Entry::at(entry_off);
     let h = entry.read_header(txn)?;
     if LockState(h.state).is_write_locked() {
@@ -316,7 +319,8 @@ mod tests {
         });
         let mut arena = Arena::new(64, (4 << 20) - 64);
         let table = ClusterHash::create(&mut arena, 0, 16, 100, 32);
-        let exec = drtm_htm::Executor::new(HtmConfig::default(), Arc::new(drtm_htm::HtmStats::new()));
+        let exec =
+            drtm_htm::Executor::new(HtmConfig::default(), Arc::new(drtm_htm::HtmStats::new()));
         table.insert(&exec, cluster.node(0).region(), 1, b"v0").unwrap();
         let qp = cluster.qp(1);
         let addr = match table.remote_lookup(&qp, 1) {

@@ -47,8 +47,14 @@ impl RoCtx<'_> {
     /// the NIC provides GLOB-level atomics (§6.3).
     pub fn acquire(&mut self, rec: &RecordAddr) -> Result<Vec<u8>, RoRestart> {
         let local = self.worker.can_local_cas_pub(rec);
-        match record::remote_read_via(self.worker.qp(), rec, self.end_us, self.now_us, self.delta_us, local)
-        {
+        match record::remote_read_via(
+            self.worker.qp(),
+            rec,
+            self.end_us,
+            self.now_us,
+            self.delta_us,
+            local,
+        ) {
             Ok(f) => {
                 self.min_end_us = self.min_end_us.min(f.lease_end_us);
                 Ok(f.value)
@@ -59,10 +65,7 @@ impl RoCtx<'_> {
 
     /// Runs a validated standalone read transaction against local stores
     /// (tree scans and lookups for discovering the read set).
-    pub fn local_scan<T>(
-        &self,
-        mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>,
-    ) -> T {
+    pub fn local_scan<T>(&self, mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>) -> T {
         let region = self.worker.region().clone();
         loop {
             let mut txn = region.begin(self.worker.executor().config());

@@ -13,6 +13,37 @@
 //! acquisition) and one-sided WRITE (release); local transactions only
 //! *read* it, which is what keeps local checks coherent with remote
 //! locking on an `IBV_ATOMIC_HCA`-level NIC (§4.2).
+//!
+//! # The lease uncertainty window (§4.3)
+//!
+//! Machine clocks are synchronized only to within a bound `delta`
+//! (PTP-derived in the paper), so a lease ending at `end` is handled
+//! conservatively from both sides:
+//!
+//! ```text
+//!            VALID            |  ambiguous  |        EXPIRED
+//!   ─────────────────────────┼──────┬──────┼──────────────────────▶ now
+//!                        end−delta  end  end+delta
+//! ```
+//!
+//! * a **reader** may rely on the lease only while `now + delta <= end`
+//!   ([`LockState::lease_valid`]): even if its clock runs `delta` fast,
+//!   true time is still before `end`;
+//! * a **writer** may reclaim only once `now > end + delta`
+//!   ([`LockState::lease_expired`]): even if its clock runs `delta`
+//!   slow, true time is already past `end`.
+//!
+//! Inside `(end − delta, end + delta]` the lease is *neither* — unusable
+//! by readers and unreclaimable by writers. The two predicates can thus
+//! never both hold for clocks within skew `delta`, which is the safety
+//! property serializability rests on. The boundaries are deliberately
+//! asymmetric — `lease_valid` is inclusive at `now + delta == end`
+//! (true time is still `<= end`, the instant the lease covers), while
+//! `lease_expired` is strict at `now == end + delta` (true time may
+//! equal `end` exactly, which the lease still covers) — and this costs
+//! writers nothing: `end` is fixed while softtime advances, so a writer
+//! waiting out the window makes progress after at most
+//! `2·delta` + one timer tick (no livelock; see the boundary tests).
 
 /// Decoded view of the state word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +88,10 @@ impl LockState {
 
     /// True if a lease exists and has not expired at `now_us`, with
     /// clock-skew tolerance `delta_us` (the paper's `VALID`).
+    ///
+    /// Inclusive at the boundary: `now + delta == end` is still valid —
+    /// a clock up to `delta` fast puts true time at most at `end`, the
+    /// last instant the lease covers (see the module docs).
     pub fn lease_valid(&self, now_us: u64, delta_us: u64) -> bool {
         !self.is_write_locked()
             && self.lease_end_us() != 0
@@ -65,6 +100,10 @@ impl LockState {
 
     /// True if a lease exists but has expired at `now_us` (the paper's
     /// `EXPIRED`): safe for a writer to reclaim.
+    ///
+    /// Strict at the boundary: `now == end + delta` is *not* yet
+    /// expired — a clock up to `delta` slow puts true time exactly at
+    /// `end`, which the lease still covers (see the module docs).
     pub fn lease_expired(&self, now_us: u64, delta_us: u64) -> bool {
         !self.is_write_locked()
             && self.lease_end_us() != 0
@@ -102,6 +141,58 @@ mod tests {
         assert!(!s.lease_valid(951, 50)); // within delta of the edge
         assert!(!s.lease_expired(1040, 50)); // grace period
         assert!(s.lease_expired(1051, 50));
+    }
+
+    #[test]
+    fn boundary_at_end_minus_delta_is_the_last_valid_instant() {
+        // now = end − delta: inclusive on the valid side — a clock delta
+        // fast still puts true time at most at end.
+        let s = LockState::leased(1000);
+        assert!(s.lease_valid(950, 50));
+        assert!(!s.lease_expired(950, 50));
+        // One microsecond later the ambiguity window begins.
+        assert!(!s.lease_valid(951, 50));
+        assert!(!s.lease_expired(951, 50));
+    }
+
+    #[test]
+    fn boundary_at_end_is_ambiguous_from_both_sides() {
+        // now = end: too late for readers (their clock may be slow),
+        // too early for writers (their clock may be fast).
+        let s = LockState::leased(1000);
+        assert!(!s.lease_valid(1000, 50));
+        assert!(!s.lease_expired(1000, 50));
+    }
+
+    #[test]
+    fn boundary_at_end_plus_delta_is_the_last_unreclaimable_instant() {
+        // now = end + delta: strict on the expired side — a clock delta
+        // slow puts true time exactly at end, which the lease covers.
+        let s = LockState::leased(1000);
+        assert!(!s.lease_valid(1050, 50));
+        assert!(!s.lease_expired(1050, 50));
+        // One microsecond later the writer may reclaim.
+        assert!(s.lease_expired(1051, 50));
+        assert!(!s.lease_valid(1051, 50));
+    }
+
+    #[test]
+    fn valid_and_expired_never_overlap_within_skew() {
+        // Safety: no pair of clocks within ±delta can see the lease as
+        // valid (reader) and expired (writer) at the same true time.
+        // Writer progress: for any end, expired eventually holds.
+        let s = LockState::leased(1000);
+        const DELTA: u64 = 50;
+        for reader_now in 0..1200u64 {
+            for skew in 0..=2 * DELTA {
+                let writer_now = reader_now + skew; // clocks ≤ 2δ apart
+                assert!(
+                    !(s.lease_valid(reader_now, DELTA) && s.lease_expired(writer_now, DELTA)),
+                    "overlap at reader={reader_now} writer={writer_now}"
+                );
+            }
+        }
+        assert!(s.lease_expired(1000 + 2 * DELTA + 1, DELTA), "writer makes progress");
     }
 
     #[test]

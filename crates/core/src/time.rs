@@ -14,8 +14,7 @@
 //! same wall clock, so the inter-machine skew equals the update interval
 //! (standing in for PTP's 50 µs precision).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use drtm_htm::{Abort, HtmTxn, Region};
@@ -51,10 +50,13 @@ pub fn softtime_txn(txn: &mut HtmTxn<'_>) -> Result<u64, Abort> {
 
 /// The cluster-wide softtime updater.
 ///
-/// Dropping the handle stops the thread.
+/// Dropping the handle stops the thread *promptly*: the timer waits on a
+/// condition variable instead of sleeping, so `drop` wakes it
+/// immediately and returns well under one interval even for coarse
+/// intervals (short-lived test harnesses must not pay a full tick).
 #[derive(Debug)]
 pub struct SoftTimer {
-    stop: Arc<AtomicBool>,
+    shared: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -66,20 +68,30 @@ impl SoftTimer {
     /// in-flight HTM transaction whose read set contains the softtime
     /// line — deliberately reproducing the paper's behaviour.
     pub fn start(cluster: Arc<Cluster>, interval: Duration) -> SoftTimer {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared2 = shared.clone();
         // Publish an initial value so readers never observe 0.
         Self::tick(&cluster);
         let handle = std::thread::Builder::new()
             .name("drtm-softtime".into())
             .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    Self::tick(&cluster);
+                let (stop, cv) = &*shared2;
+                let mut stopped = stop.lock().expect("softtime lock poisoned");
+                loop {
+                    let (guard, timeout) = cv
+                        .wait_timeout_while(stopped, interval, |s| !*s)
+                        .expect("softtime lock poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        Self::tick(&cluster);
+                    }
                 }
             })
             .expect("spawn softtime timer");
-        SoftTimer { stop, handle: Some(handle) }
+        SoftTimer { shared, handle: Some(handle) }
     }
 
     fn tick(cluster: &Cluster) {
@@ -97,7 +109,9 @@ impl SoftTimer {
 
 impl Drop for SoftTimer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        let (stop, cv) = &*self.shared;
+        *stop.lock().expect("softtime lock poisoned") = true;
+        cv.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -147,6 +161,21 @@ mod tests {
         softtime_txn(&mut txn).unwrap();
         SoftTimer::tick_now(&c); // timer fires mid-transaction
         assert_eq!(txn.commit(), Err(Abort::Conflict));
+    }
+
+    #[test]
+    fn drop_returns_well_under_the_interval() {
+        // The timer parks on a condvar; drop must not wait out a tick.
+        let c = cluster(1);
+        let t = SoftTimer::start(c, Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(5));
+        let t0 = Instant::now();
+        drop(t);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "drop took {:?} against a 30 s interval",
+            t0.elapsed()
+        );
     }
 
     #[test]

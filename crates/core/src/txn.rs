@@ -25,20 +25,21 @@
 
 use std::sync::Arc;
 
-use drtm_htm::{vtime, Abort, Executor, HtmStats, HtmTxn, Region};
 #[cfg(test)]
 use drtm_htm::HtmConfig;
+use drtm_htm::{vtime, Abort, Executor, HtmStats, HtmTxn, Region};
 use drtm_memstore::{BTree, ClusterHash, InsertError, PreparedInsert};
 use drtm_rdma::{AtomicityLevel, Cluster, NodeId, Qp};
 
 use crate::alloc_layout::NodeLayout;
 use crate::config::{CrashPoint, DrTmConfig, SofttimeStrategy};
 use crate::log::{LogSlot, LoggedUpdate};
-use crate::record::{
-    self, FetchedRecord, RecordAddr, ABORT_LEASE_EXPIRED, ABORT_LOCKED,
-};
+use crate::record::{self, FetchedRecord, RecordAddr, ABORT_LEASE_EXPIRED, ABORT_LOCKED};
 use crate::stats::TxnStats;
 use crate::time::{softtime_nt, softtime_txn};
+use crate::trace::{
+    AbortCause, Phase, PhaseTimer, StatsReport, TraceBuf, TraceDump, TraceEvent, TraceHub,
+};
 
 /// Explicit-abort code reserved for user-initiated aborts (e.g. TPC-C
 /// new-order's invalid-item rollback). Only valid before any
@@ -76,6 +77,7 @@ pub struct DrTm {
     cfg: DrTmConfig,
     stats: Arc<TxnStats>,
     htm_stats: Arc<HtmStats>,
+    trace: TraceHub,
     layouts: Vec<NodeLayout>,
 }
 
@@ -83,11 +85,13 @@ impl DrTm {
     /// Creates the instance; `layouts[n]` is machine `n`'s region layout.
     pub fn new(cluster: Arc<Cluster>, cfg: DrTmConfig, layouts: Vec<NodeLayout>) -> Arc<Self> {
         assert_eq!(layouts.len(), cluster.num_nodes(), "one layout per node");
+        let trace = TraceHub::new(cfg.trace_capacity);
         Arc::new(DrTm {
             cluster,
             cfg,
             stats: Arc::new(TxnStats::new()),
             htm_stats: Arc::new(HtmStats::new()),
+            trace,
             layouts,
         })
     }
@@ -112,6 +116,30 @@ impl DrTm {
         &self.htm_stats
     }
 
+    /// The abort-cause diagnostics hub.
+    pub fn trace(&self) -> &TraceHub {
+        &self.trace
+    }
+
+    /// Dumps every worker's retained abort-trace events (print from a
+    /// failing test or an unexpected abort storm).
+    pub fn trace_dump(&self) -> TraceDump {
+        self.trace.dump()
+    }
+
+    /// Joins every counter layer (transaction, HTM, RDMA, abort causes,
+    /// per-phase breakdown) into one report; diff two with
+    /// [`StatsReport::since`] to measure a window.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            txn: self.stats.snapshot(),
+            htm: self.htm_stats.snapshot(),
+            rdma: self.cluster.counters().snapshot(),
+            causes: self.trace.causes(),
+            phases: self.trace.phases(),
+        }
+    }
+
     /// Creates the handle a worker thread drives transactions through.
     pub fn worker(self: &Arc<Self>, node: NodeId, worker_id: usize) -> Worker {
         let slot_layout = self.layouts[node as usize].log_slots[worker_id];
@@ -119,12 +147,12 @@ impl DrTm {
             qp: self.cluster.qp(node),
             exec: Executor::new(self.cfg.htm.clone(), self.htm_stats.clone()),
             log: LogSlot::new(slot_layout, self.cfg.nvram_write_ns),
+            ring: self.trace.register(),
+            txn_seq: 0,
             sys: Arc::clone(self),
             node,
             worker_id,
-            rng: 0x9E37_79B9u64
-                .wrapping_mul(node as u64 + 1)
-                .wrapping_add(worker_id as u64),
+            rng: 0x9E37_79B9u64.wrapping_mul(node as u64 + 1).wrapping_add(worker_id as u64),
             crash_point: self.cfg.crash_point,
         }
     }
@@ -141,6 +169,8 @@ pub struct Worker {
     qp: Qp,
     exec: Executor,
     log: LogSlot,
+    ring: Arc<TraceBuf>,
+    txn_seq: u64,
     rng: u64,
     crash_point: Option<CrashPoint>,
 }
@@ -194,6 +224,46 @@ impl Worker {
         if self.sys.cfg.logging {
             self.log.clear_chop(self.region());
         }
+    }
+
+    /// Allocates the next transaction id:
+    /// `node << 40 | worker << 32 | per-worker sequence`.
+    fn next_txn_id(&mut self) -> u64 {
+        self.txn_seq += 1;
+        (self.node as u64) << 40 | (self.worker_id as u64) << 32 | self.txn_seq
+    }
+
+    /// Records one abort event in this worker's trace ring.
+    fn trace_abort(
+        &self,
+        txn_id: u64,
+        phase: Phase,
+        cause: AbortCause,
+        record: Option<&RecordAddr>,
+    ) {
+        self.sys.trace.record(
+            &self.ring,
+            TraceEvent {
+                txn_id,
+                node: self.node,
+                worker: self.worker_id,
+                phase,
+                cause,
+                record: record.map(|r| r.addr),
+                vtime_ns: vtime::read(),
+            },
+        );
+    }
+
+    /// Releases every remote write lock (abort cleanup), charging the
+    /// unlock WRITEs to the Commit phase's breakdown.
+    fn unlock_writes_traced(&self, spec: &TxnSpec) {
+        let ((), spent) = vtime::measure(|| {
+            for rec in &spec.remote_writes {
+                record::remote_unlock(&self.qp, rec);
+            }
+        });
+        self.sys.trace.phases.add(Phase::Commit, spent, spec.remote_writes.len() as u64);
     }
 
     fn backoff(&mut self, attempt: u32) {
@@ -268,12 +338,15 @@ impl Worker {
         );
         let region = self.region().clone();
         let logging = self.sys.cfg.logging;
+        let txn_id = self.next_txn_id();
         let mut start_attempts = 0u32;
         loop {
             if start_attempts > self.sys.cfg.start_retries {
-                return self.fallback_execute(spec, &mut body);
+                return self.fallback_execute(txn_id, spec, &mut body);
             }
             // ---------------- Start phase ----------------
+            let start_t0 = vtime::read();
+            let mut start_ops = 0u64;
             let now = softtime_nt(&region);
             let end = now + self.sys.cfg.lease_us;
             if logging && !spec.remote_writes.is_empty() {
@@ -282,10 +355,22 @@ impl Worker {
             let mut w_fetched: Vec<FetchedRecord> = Vec::with_capacity(spec.remote_writes.len());
             let mut ok = true;
             for rec in &spec.remote_writes {
-                match record::remote_lock_write(&self.qp, rec, self.node as u8, now, self.sys.cfg.delta_us)
-                {
+                start_ops += 1;
+                match record::remote_lock_write(
+                    &self.qp,
+                    rec,
+                    self.node as u8,
+                    now,
+                    self.sys.cfg.delta_us,
+                ) {
                     Ok(f) => w_fetched.push(f),
-                    Err(_) => {
+                    Err(c) => {
+                        self.trace_abort(
+                            txn_id,
+                            Phase::Start,
+                            AbortCause::from_conflict(c),
+                            Some(rec),
+                        );
                         ok = false;
                         break;
                     }
@@ -294,9 +379,16 @@ impl Worker {
             let mut r_fetched: Vec<FetchedRecord> = Vec::with_capacity(spec.remote_reads.len());
             if ok {
                 for rec in &spec.remote_reads {
+                    start_ops += 1;
                     match record::remote_read(&self.qp, rec, end, now, self.sys.cfg.delta_us) {
                         Ok(f) => r_fetched.push(f),
-                        Err(_) => {
+                        Err(c) => {
+                            self.trace_abort(
+                                txn_id,
+                                Phase::Start,
+                                AbortCause::from_conflict(c),
+                                Some(rec),
+                            );
                             ok = false;
                             break;
                         }
@@ -306,12 +398,23 @@ impl Worker {
             if !ok {
                 for (rec, _) in spec.remote_writes.iter().zip(&w_fetched) {
                     record::remote_unlock(&self.qp, rec);
+                    start_ops += 1;
                 }
+                self.sys.trace.phases.add(
+                    Phase::Start,
+                    vtime::read().saturating_sub(start_t0),
+                    start_ops,
+                );
                 self.sys.stats.add_start_conflict();
                 start_attempts += 1;
                 self.backoff(start_attempts);
                 continue;
             }
+            self.sys.trace.phases.add(
+                Phase::Start,
+                vtime::read().saturating_sub(start_t0),
+                start_ops,
+            );
 
             // ---------------- LocalTX + Commit ----------------
             let mut attempts = 0u32;
@@ -320,7 +423,9 @@ impl Worker {
                     break HtmAttempt::GiveUp;
                 }
                 attempts += 1;
-                match self.htm_attempt(&region, spec, &w_fetched, &r_fetched, now, &mut body) {
+                match self
+                    .htm_attempt(txn_id, &region, spec, &w_fetched, &r_fetched, now, &mut body)
+                {
                     HtmAttempt::Retry => {
                         self.backoff(attempts);
                         continue;
@@ -333,26 +438,20 @@ impl Worker {
                 HtmAttempt::Terminal(e) => {
                     if e == TxnError::UserAborted {
                         // Clean up our locks before reporting.
-                        for rec in &spec.remote_writes {
-                            record::remote_unlock(&self.qp, rec);
-                        }
+                        self.unlock_writes_traced(spec);
                         self.sys.stats.add_user_abort();
                     }
                     return Err(e);
                 }
                 HtmAttempt::RestartTxn => {
-                    for rec in &spec.remote_writes {
-                        record::remote_unlock(&self.qp, rec);
-                    }
+                    self.unlock_writes_traced(spec);
                     start_attempts += 1;
                     self.backoff(start_attempts);
                     continue;
                 }
                 HtmAttempt::GiveUp => {
-                    for rec in &spec.remote_writes {
-                        record::remote_unlock(&self.qp, rec);
-                    }
-                    return self.fallback_execute(spec, &mut body);
+                    self.unlock_writes_traced(spec);
+                    return self.fallback_execute(txn_id, spec, &mut body);
                 }
                 HtmAttempt::Retry => unreachable!("Retry handled in inner loop"),
             }
@@ -363,6 +462,7 @@ impl Worker {
     #[allow(clippy::too_many_arguments)]
     fn htm_attempt<T>(
         &mut self,
+        txn_id: u64,
         region: &Region,
         spec: &TxnSpec,
         w_fetched: &[FetchedRecord],
@@ -390,8 +490,10 @@ impl Worker {
             logging: cfg.logging,
             local_log: Vec::new(),
         };
+        let body_t0 = vtime::read();
         let out = body(&mut ctx);
         let (mut txn, w_buf, allocs, local_log) = ctx.finish_htm();
+        self.sys.trace.phases.add(Phase::LocalTx, vtime::read().saturating_sub(body_t0), 0);
         let undo = |allocs: Vec<(Arc<ClusterHash>, PreparedInsert)>| {
             for (t, p) in allocs {
                 t.undo_insert(p);
@@ -400,30 +502,41 @@ impl Worker {
         let value = match out {
             Ok(v) => v,
             Err(Abort::Explicit(USER_ABORT)) => {
+                self.trace_abort(txn_id, Phase::LocalTx, AbortCause::UserAbort, None);
                 undo(allocs);
                 return HtmAttempt::Terminal(TxnError::UserAborted);
             }
             Err(a) => {
+                self.trace_abort(txn_id, Phase::LocalTx, AbortCause::from_htm(a), None);
                 self.sys.htm_stats().record_abort(a);
                 undo(allocs);
                 return if a == Abort::Capacity { HtmAttempt::GiveUp } else { HtmAttempt::Retry };
             }
         };
+        // Everything from here to the return is the Commit phase; the
+        // drop guard charges its virtual time on every early return.
+        let mut commit_t = PhaseTimer::start(&self.sys.trace, Phase::Commit);
         // Lease confirmation (only when leases exist: purely local
         // transactions never touch softtime inside HTM, §6.1).
         if !r_fetched.is_empty() {
             let confirm_now = match softtime_txn(&mut txn) {
                 Ok(t) => t,
                 Err(a) => {
+                    self.trace_abort(txn_id, Phase::Commit, AbortCause::from_htm(a), None);
                     self.sys.htm_stats().record_abort(a);
                     undo(allocs);
                     return HtmAttempt::Retry;
                 }
             };
-            if !r_fetched
-                .iter()
-                .all(|f| confirm_now + self.sys.cfg.delta_us <= f.lease_end_us)
-            {
+            let expired =
+                r_fetched.iter().position(|f| confirm_now + self.sys.cfg.delta_us > f.lease_end_us);
+            if let Some(i) = expired {
+                self.trace_abort(
+                    txn_id,
+                    Phase::Commit,
+                    AbortCause::LeaseConfirmFail,
+                    Some(&spec.remote_reads[i]),
+                );
                 self.sys.htm_stats().record_abort(Abort::Explicit(ABORT_LEASE_EXPIRED));
                 self.sys.stats.add_lease_confirm_fail();
                 undo(allocs);
@@ -451,6 +564,7 @@ impl Worker {
         updates.extend(local_log);
         if self.sys.cfg.logging && !updates.is_empty() {
             if let Err(a) = self.log.log_write_ahead(&mut txn, &updates) {
+                self.trace_abort(txn_id, Phase::Commit, AbortCause::from_htm(a), None);
                 self.sys.htm_stats().record_abort(a);
                 undo(allocs);
                 return HtmAttempt::Retry;
@@ -463,6 +577,7 @@ impl Worker {
         match txn.commit() {
             Ok(()) => {}
             Err(a) => {
+                self.trace_abort(txn_id, Phase::Commit, AbortCause::from_htm(a), None);
                 self.sys.htm_stats().record_abort(a);
                 undo(allocs);
                 return HtmAttempt::Retry;
@@ -496,6 +611,7 @@ impl Worker {
             }
         });
         vtime::doorbell_batch(spent, spec.remote_writes.len());
+        commit_t.ops += spec.remote_writes.len() as u64;
         if crash_mid {
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
@@ -506,17 +622,21 @@ impl Worker {
         HtmAttempt::Committed(value)
     }
 
-
     /// The fallback handler (§6.2): strict 2PL over *all* records in a
     /// global order, with the body run against buffered state.
     fn fallback_execute<T>(
         &mut self,
+        txn_id: u64,
         spec: &TxnSpec,
         body: &mut impl FnMut(&mut TxnCtx<'_>) -> Result<T, Abort>,
     ) -> Result<T, TxnError> {
         self.sys.htm_stats().record_fallback();
         let region = self.region().clone();
         let cfg = self.sys.cfg.clone();
+        // Whole-handler virtual time and record ops land in the
+        // Fallback phase line (charged at every return).
+        let fb_t0 = vtime::read();
+        let mut fb_ops = 0u64;
         // Global lock order: (node, offset); total order ⇒ no deadlock.
         #[derive(Clone, Copy)]
         struct Item {
@@ -563,11 +683,27 @@ impl Worker {
                             use_local,
                         )
                     } else {
-                        record::remote_read_via(&self.qp, &it.rec, end, now2, cfg.delta_us, use_local)
+                        record::remote_read_via(
+                            &self.qp,
+                            &it.rec,
+                            end,
+                            now2,
+                            cfg.delta_us,
+                            use_local,
+                        )
                     };
+                    fb_ops += 1;
                     match r {
                         Ok(f) => break f,
-                        Err(_) => self.backoff(4),
+                        Err(_) => {
+                            self.trace_abort(
+                                txn_id,
+                                Phase::Fallback,
+                                AbortCause::FallbackWait,
+                                Some(&it.rec),
+                            );
+                            self.backoff(4);
+                        }
                     }
                 };
                 fetched.push(f);
@@ -583,7 +719,9 @@ impl Worker {
             if !leases_ok {
                 for it in items.iter().filter(|it| it.write) {
                     record::remote_unlock_via(&self.qp, &it.rec, self.can_local_cas(&it.rec));
+                    fb_ops += 1;
                 }
+                self.trace_abort(txn_id, Phase::Fallback, AbortCause::LeaseConfirmFail, None);
                 self.sys.stats.add_lease_confirm_fail();
                 self.backoff(8);
                 continue 'retry;
@@ -593,7 +731,7 @@ impl Worker {
             let mut w_fetched = vec![FetchedRecord::empty(); spec.remote_writes.len()];
             let mut l_fetched_reads = vec![FetchedRecord::empty(); spec.local_reads.len()];
             let mut r_fetched = vec![FetchedRecord::empty(); spec.remote_reads.len()];
-            for (it, f) in items.iter().zip(fetched.into_iter()) {
+            for (it, f) in items.iter().zip(fetched) {
                 match (it.write, it.local) {
                     (true, true) => l_fetched_writes[it.idx] = f,
                     (true, false) => w_fetched[it.idx] = f,
@@ -623,8 +761,15 @@ impl Worker {
                 Err(Abort::Explicit(USER_ABORT)) => {
                     for it in items.iter().filter(|it| it.write) {
                         record::remote_unlock_via(&self.qp, &it.rec, self.can_local_cas(&it.rec));
+                        fb_ops += 1;
                     }
+                    self.trace_abort(txn_id, Phase::Fallback, AbortCause::UserAbort, None);
                     self.sys.stats.add_user_abort();
+                    self.sys.trace.phases.add(
+                        Phase::Fallback,
+                        vtime::read().saturating_sub(fb_t0),
+                        fb_ops,
+                    );
                     return Err(TxnError::UserAborted);
                 }
                 Err(a) => {
@@ -654,11 +799,8 @@ impl Worker {
                         self.log.log_write_ahead_nt(&region, &updates);
                     }
                     // Apply local writes and unlock them.
-                    for ((rec, f), buf) in spec
-                        .local_writes
-                        .iter()
-                        .zip(&out.l_fetched_writes)
-                        .zip(&out.l_buf)
+                    for ((rec, f), buf) in
+                        spec.local_writes.iter().zip(&out.l_fetched_writes).zip(&out.l_buf)
                     {
                         let use_local = self.can_local_cas(rec);
                         match buf {
@@ -688,7 +830,13 @@ impl Worker {
                     if cfg.logging {
                         self.log.log_done(&region);
                     }
+                    fb_ops += (spec.local_writes.len() + spec.remote_writes.len()) as u64;
                     self.sys.stats.add_committed(true);
+                    self.sys.trace.phases.add(
+                        Phase::Fallback,
+                        vtime::read().saturating_sub(fb_t0),
+                        fb_ops,
+                    );
                     return Ok(value);
                 }
             }
@@ -810,9 +958,9 @@ impl<'r> TxnCtx<'r> {
         let off = self.spec.local_writes[i].addr.offset;
         match &mut self.mode {
             CtxMode::Htm(txn) => Ok(record::local_read(txn, off)?.1),
-            CtxMode::Fallback => Ok(self.l_buf[i]
-                .clone()
-                .unwrap_or_else(|| self.l_fetched_writes[i].value.clone())),
+            CtxMode::Fallback => {
+                Ok(self.l_buf[i].clone().unwrap_or_else(|| self.l_fetched_writes[i].value.clone()))
+            }
         }
     }
 
@@ -999,7 +1147,8 @@ mod tests {
             let mut arena = Arena::new(0, 16 << 20);
             layouts.push(NodeLayout::reserve(&mut arena, workers));
             let t = ClusterHash::create(&mut arena, n as NodeId, 256, 4096, VAL_CAP);
-            let tree = BTree::create(&mut arena, cluster.node(n as NodeId).region(), n as NodeId, 512);
+            let tree =
+                BTree::create(&mut arena, cluster.node(n as NodeId).region(), n as NodeId, 512);
             // Populate with stock hardware parameters: tests may model a
             // tiny HTM capacity that could not even run the inserts.
             let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
@@ -1215,11 +1364,8 @@ mod tests {
             let stop = stop.clone();
             std::thread::spawn(move || {
                 let mut w = sys.worker(0, 0);
-                let spec = TxnSpec {
-                    local_writes: vec![a],
-                    remote_writes: vec![b],
-                    ..Default::default()
-                };
+                let spec =
+                    TxnSpec { local_writes: vec![a], remote_writes: vec![b], ..Default::default() };
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     w.execute(&spec, |ctx| {
                         let x = vu64(&ctx.local_write_cur(0)?);
@@ -1248,9 +1394,11 @@ mod tests {
 
     #[test]
     fn crash_before_commit_recovers_by_unlocking() {
-        let mut cfg = DrTmConfig::default();
-        cfg.logging = true;
-        cfg.crash_point = Some(CrashPoint::BeforeHtmCommit);
+        let cfg = DrTmConfig {
+            logging: true,
+            crash_point: Some(CrashPoint::BeforeHtmCommit),
+            ..Default::default()
+        };
         let h = harness(2, 1, 4, cfg);
         let mut w = h.sys.worker(0, 0);
         let spec = TxnSpec { remote_writes: vec![h.rec(1, 0)], ..Default::default() };
@@ -1275,9 +1423,11 @@ mod tests {
 
     #[test]
     fn crash_after_commit_recovers_by_redo() {
-        let mut cfg = DrTmConfig::default();
-        cfg.logging = true;
-        cfg.crash_point = Some(CrashPoint::AfterHtmCommit);
+        let cfg = DrTmConfig {
+            logging: true,
+            crash_point: Some(CrashPoint::AfterHtmCommit),
+            ..Default::default()
+        };
         let h = harness(2, 1, 4, cfg);
         let mut w = h.sys.worker(0, 0);
         let spec = TxnSpec { remote_writes: vec![h.rec(1, 0)], ..Default::default() };
@@ -1322,8 +1472,8 @@ mod tests {
 
     #[test]
     fn per_op_softtime_strategy_commits() {
-        let mut cfg = DrTmConfig::default();
-        cfg.softtime = crate::config::SofttimeStrategy::PerOp;
+        let cfg =
+            DrTmConfig { softtime: crate::config::SofttimeStrategy::PerOp, ..Default::default() };
         let h = harness(2, 1, 2, cfg);
         let mut w = h.sys.worker(0, 0);
         let spec = TxnSpec {
@@ -1353,10 +1503,8 @@ mod tests {
         let h = harness(1, 1, 8, cfg);
         let tree = h.trees[0].clone();
         let mut w = h.sys.worker(0, 0);
-        let spec = TxnSpec {
-            local_writes: (0..8).map(|k| h.rec(0, k)).collect(),
-            ..Default::default()
-        };
+        let spec =
+            TxnSpec { local_writes: (0..8).map(|k| h.rec(0, k)).collect(), ..Default::default() };
         w.execute(&spec, |ctx| {
             for i in 0..8 {
                 let v = vu64(&ctx.local_write_cur(i)?);
@@ -1395,8 +1543,7 @@ mod tests {
 
     #[test]
     fn lease_blocks_local_writer_until_expiry() {
-        let mut cfg = DrTmConfig::default();
-        cfg.lease_us = 3_000;
+        let cfg = DrTmConfig { lease_us: 3_000, ..Default::default() };
         let h = harness(2, 1, 2, cfg);
         // Remote machine leases the record.
         let rec = h.rec(0, 0);

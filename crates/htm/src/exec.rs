@@ -112,8 +112,7 @@ mod tests {
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn executor(max_retries: u32) -> Executor {
-        let mut cfg = HtmConfig::default();
-        cfg.max_retries = max_retries;
+        let cfg = HtmConfig { max_retries, ..Default::default() };
         Executor::new(cfg, Arc::new(HtmStats::new()))
     }
 
@@ -159,9 +158,7 @@ mod tests {
     #[test]
     fn capacity_abort_goes_straight_to_fallback() {
         let r = Region::new(64 * 64);
-        let mut cfg = HtmConfig::default();
-        cfg.max_retries = 10;
-        cfg.write_capacity_lines = 2;
+        let cfg = HtmConfig { max_retries: 10, write_capacity_lines: 2, ..Default::default() };
         let e = Executor::new(cfg, Arc::new(HtmStats::new()));
         let tries = AtomicU32::new(0);
         let (_, outcome) = e.run(

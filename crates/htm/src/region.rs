@@ -103,9 +103,7 @@ impl Region {
         if w & LOCKED != 0 {
             return None;
         }
-        self.meta[line]
-            .compare_exchange(w, w | LOCKED, Ordering::Acquire, Ordering::Relaxed)
-            .ok()
+        self.meta[line].compare_exchange(w, w | LOCKED, Ordering::Acquire, Ordering::Relaxed).ok()
     }
 
     /// Locks `line`, spinning until available; returns the pre-lock version.

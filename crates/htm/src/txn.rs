@@ -94,12 +94,7 @@ pub struct HtmTxn<'r> {
 
 impl<'r> HtmTxn<'r> {
     pub(crate) fn new(region: &'r Region, cfg: &HtmConfig) -> Self {
-        HtmTxn {
-            region,
-            reads: HashMap::new(),
-            writes: HashMap::new(),
-            cfg: cfg.clone(),
-        }
+        HtmTxn { region, reads: HashMap::new(), writes: HashMap::new(), cfg: cfg.clone() }
     }
 
     /// Returns the region this transaction runs against.
@@ -183,7 +178,7 @@ impl<'r> HtmTxn<'r> {
 
     /// Transactionally reads an aligned `u64` at `offset`.
     pub fn read_u64(&mut self, offset: usize) -> Result<u64, Abort> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(Abort::Explicit(0xFD));
         }
         let mut buf = [0u8; 8];
@@ -239,7 +234,7 @@ impl<'r> HtmTxn<'r> {
 
     /// Transactionally writes an aligned `u64` at `offset`.
     pub fn write_u64(&mut self, offset: usize, value: u64) -> Result<(), Abort> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(Abort::Explicit(0xFD));
         }
         self.write(offset, &value.to_le_bytes())
@@ -266,7 +261,8 @@ impl<'r> HtmTxn<'r> {
         vtime::charge(self.cfg.cost_commit_ns + self.cfg.cost_access_ns * self.writes.len() as u64);
 
         // Phase 1: lock the write set in address order (no deadlock).
-        let mut dirty: Vec<(usize, &WriteLine)> = self.writes.iter().map(|(&l, w)| (l, w)).collect();
+        let mut dirty: Vec<(usize, &WriteLine)> =
+            self.writes.iter().map(|(&l, w)| (l, w)).collect();
         dirty.sort_unstable_by_key(|&(l, _)| l);
         let mut locked: Vec<(usize, u64)> = Vec::with_capacity(dirty.len());
         let rollback = |locked: &[(usize, u64)]| {

@@ -107,7 +107,7 @@ impl FreeList {
     pub fn free(&self, offset: usize) {
         assert!(
             offset >= self.base
-                && (offset - self.base) % self.cell == 0
+                && (offset - self.base).is_multiple_of(self.cell)
                 && (offset - self.base) / self.cell < self.capacity,
             "free of foreign offset {offset}"
         );

@@ -147,7 +147,12 @@ impl BTree {
 
     /// Index of the first key ≥ `key` in the node (linear scan — nodes
     /// are 14 keys, cheaper than branching binary search here).
-    fn lower_bound(n: &NodeRef, txn: &mut HtmTxn<'_>, nkeys: usize, key: u64) -> Result<usize, Abort> {
+    fn lower_bound(
+        n: &NodeRef,
+        txn: &mut HtmTxn<'_>,
+        nkeys: usize,
+        key: u64,
+    ) -> Result<usize, Abort> {
         for i in 0..nkeys {
             if n.key(txn, i)? >= key {
                 return Ok(i);
@@ -382,15 +387,21 @@ mod tests {
         let region = Arc::new(Region::new(pool * NODE_BYTES + 4096));
         let mut arena = Arena::new(0, pool * NODE_BYTES + 4096);
         let tree = BTree::create(&mut arena, &region, 0, pool);
-        let mut cfg = HtmConfig::default();
         // Trees legitimately touch many lines on bulk operations.
-        cfg.read_capacity_lines = 1 << 16;
-        cfg.write_capacity_lines = 1 << 15;
+        let cfg = HtmConfig {
+            read_capacity_lines: 1 << 16,
+            write_capacity_lines: 1 << 15,
+            ..Default::default()
+        };
         (region, tree, cfg)
     }
 
     /// Runs `f` in its own committed transaction, retrying conflicts.
-    fn tx<T>(region: &Region, cfg: &HtmConfig, mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>) -> T {
+    fn tx<T>(
+        region: &Region,
+        cfg: &HtmConfig,
+        mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>,
+    ) -> T {
         loop {
             let mut t = region.begin(cfg);
             if let Ok(v) = f(&mut t) {

@@ -139,7 +139,12 @@ impl LocationCache {
     /// RDMA READs spent (0 on a full hit). The caller must still perform
     /// the incarnation check when reading the entry and call
     /// [`LocationCache::invalidate`] on mismatch.
-    pub fn lookup(&self, qp: &Qp, table: &ClusterHash, key: u64) -> Option<(GlobalAddr, Slot, u32)> {
+    pub fn lookup(
+        &self,
+        qp: &Qp,
+        table: &ClusterHash,
+        key: u64,
+    ) -> Option<(GlobalAddr, Slot, u32)> {
         let desc = table.desc();
         let idx = desc.bucket_index(key);
         let way = idx & self.main_mask;
@@ -422,7 +427,7 @@ mod tests {
         }
         let qp = cluster.qp(1);
         let cache = LocationCache::new(1, 1); // pool of one bucket
-        // Every deep lookup still succeeds even when nothing fits.
+                                              // Every deep lookup still succeeds even when nothing fits.
         for k in 0..40u64 {
             assert!(cache.lookup(&qp, &table, k).is_some(), "key {k}");
         }

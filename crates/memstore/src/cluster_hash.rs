@@ -293,11 +293,7 @@ impl ClusterHash {
                 let slot = Self::read_slot(txn, off)?;
                 match slot.typ {
                     SlotType::Entry if slot.key == key => return Ok((true, None)),
-                    SlotType::Free => {
-                        if free_slot.is_none() {
-                            free_slot = Some(off);
-                        }
-                    }
+                    SlotType::Free if free_slot.is_none() => free_slot = Some(off),
                     SlotType::Header if i == ASSOC - 1 => next = Some(slot.offset as usize),
                     _ => {}
                 }
@@ -658,10 +654,7 @@ mod tests {
             table.insert(&exec, region, k, b"z").unwrap();
         }
         let qp = cluster.qp(1);
-        let deep = (0..30u64)
-            .map(|k| table.remote_lookup(&qp, k).reads())
-            .max()
-            .unwrap();
+        let deep = (0..30u64).map(|k| table.remote_lookup(&qp, k).reads()).max().unwrap();
         assert!(deep >= 2, "chained keys need multiple READs, got {deep}");
     }
 

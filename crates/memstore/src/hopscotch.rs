@@ -103,9 +103,7 @@ impl HopscotchHash {
         };
         desc.base = arena.reserve(buckets * desc.slot_bytes());
         desc.entry_base = match variant {
-            HopscotchVariant::Offset => {
-                arena.reserve(Entry::footprint(value_cap) * entry_capacity)
-            }
+            HopscotchVariant::Offset => arena.reserve(Entry::footprint(value_cap) * entry_capacity),
             HopscotchVariant::Inline => 0,
         };
         let entries = FreeList::new(desc.entry_base, Entry::footprint(value_cap), entry_capacity);
@@ -180,7 +178,10 @@ impl HopscotchHash {
         // Hop the hole backwards until it is inside the neighbourhood.
         while free - home >= NEIGHBOURHOOD {
             let mut moved = false;
-            // Try to move a key from [free-H+1, free) into `free`.
+            // Try to move a key from [free-H+1, free) into `free`. Mutating
+            // `free` inside the loop does not change this range; the new value
+            // seeds the next displacement round of the outer loop.
+            #[allow(clippy::mut_range_bound)]
             for cand in free + 1 - NEIGHBOURHOOD..free {
                 let k = self.slot_key(region, cand);
                 if k == 0 {
@@ -244,10 +245,7 @@ impl HopscotchHash {
         qp.read(GlobalAddr::new(self.desc.node, self.slot_off(home)), &mut buf[..first * sb]);
         reads += 1;
         if first < NEIGHBOURHOOD {
-            qp.read(
-                GlobalAddr::new(self.desc.node, self.desc.base),
-                &mut buf[first * sb..],
-            );
+            qp.read(GlobalAddr::new(self.desc.node, self.desc.base), &mut buf[first * sb..]);
             reads += 1;
         }
         for d in 0..NEIGHBOURHOOD {

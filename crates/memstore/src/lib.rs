@@ -40,7 +40,9 @@ mod slot;
 pub use alloc::{Arena, FreeList};
 pub use btree::{BTree, BTreeDesc};
 pub use cache::{CacheStats, LocationCache};
-pub use cluster_hash::{ClusterHash, ClusterHashDesc, InsertError, LookupResult, PreparedInsert, BUCKET_BYTES};
+pub use cluster_hash::{
+    ClusterHash, ClusterHashDesc, InsertError, LookupResult, PreparedInsert, BUCKET_BYTES,
+};
 pub use cuckoo::{CuckooHash, CuckooHashDesc};
 pub use entry::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
 pub use hopscotch::{HopscotchHash, HopscotchHashDesc, HopscotchVariant};

@@ -134,7 +134,8 @@ pub fn serve_store_ops(
     let region = cluster.node(host).region();
     let qp = cluster.qp(host);
     while !stop.load(Ordering::Relaxed) {
-        let Some(msg) = cluster.verbs().recv_timeout(host, STORE_RPC_QUEUE, Duration::from_millis(2))
+        let Some(msg) =
+            cluster.verbs().recv_timeout(host, STORE_RPC_QUEUE, Duration::from_millis(2))
         else {
             continue;
         };
@@ -259,7 +260,10 @@ mod tests {
             &StoreOp::Insert { table: 0, key: 5, value: b"again".to_vec() },
         );
         assert_eq!(r, StoreReply::Duplicate);
-        assert_eq!(ship_store_op(&cluster, 1, 0, 100, &StoreOp::Delete { table: 0, key: 5 }), StoreReply::Ok);
+        assert_eq!(
+            ship_store_op(&cluster, 1, 0, 100, &StoreOp::Delete { table: 0, key: 5 }),
+            StoreReply::Ok
+        );
         assert_eq!(
             ship_store_op(&cluster, 1, 0, 100, &StoreOp::Delete { table: 0, key: 5 }),
             StoreReply::NotFound

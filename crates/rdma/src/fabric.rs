@@ -113,10 +113,7 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
         let nodes = (0..cfg.nodes)
             .map(|i| {
-                Arc::new(Node {
-                    id: i as NodeId,
-                    region: Arc::new(Region::new(cfg.region_size)),
-                })
+                Arc::new(Node { id: i as NodeId, region: Arc::new(Region::new(cfg.region_size)) })
             })
             .collect();
         Arc::new(Cluster {

@@ -32,6 +32,7 @@ pub struct Message {
 }
 
 type Endpoint = (NodeId, QueueId);
+type Queue = (Sender<Message>, Receiver<Message>);
 
 /// The set of receive queues of a cluster.
 ///
@@ -39,7 +40,7 @@ type Endpoint = (NodeId, QueueId);
 /// (unbounded); receivers may block, poll or time out.
 #[derive(Debug)]
 pub struct Verbs {
-    queues: RwLock<HashMap<Endpoint, (Sender<Message>, Receiver<Message>)>>,
+    queues: RwLock<HashMap<Endpoint, Queue>>,
     nodes: usize,
 }
 
@@ -48,7 +49,7 @@ impl Verbs {
         Verbs { queues: RwLock::new(HashMap::new()), nodes }
     }
 
-    fn queue(&self, ep: Endpoint) -> (Sender<Message>, Receiver<Message>) {
+    fn queue(&self, ep: Endpoint) -> Queue {
         assert!((ep.0 as usize) < self.nodes, "verbs endpoint node {} out of range", ep.0);
         if let Some(q) = self.queues.read().get(&ep) {
             return q.clone();

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use drtm_core::{DrTm, StatsReport};
 use drtm_htm::vtime;
 use drtm_rdma::NodeId;
 
@@ -151,6 +152,29 @@ where
     report
 }
 
+/// Like [`run`], additionally diffing the system's joined
+/// [`StatsReport`] across the run so every harness can print an
+/// abort-cause and per-phase breakdown alongside throughput.
+///
+/// The diagnostics window spans the warmup iterations too — warmup
+/// aborts are as interesting as measured ones when hunting an abort
+/// storm; throughput still comes exclusively from the measured window.
+pub fn run_diagnosed<F>(
+    sys: &std::sync::Arc<DrTm>,
+    nodes: usize,
+    workers: usize,
+    iters: u64,
+    make: impl Fn(NodeId, usize) -> F + Sync,
+    warmup: u64,
+) -> (Report, StatsReport)
+where
+    F: FnMut(u64) -> &'static str,
+{
+    let before = sys.stats_report();
+    let report = run(nodes, workers, iters, make, warmup);
+    (report, sys.stats_report().since(&before))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,7 +188,7 @@ mod tests {
             |_, _| {
                 |i: u64| {
                     vtime::charge(1000);
-                    if i % 2 == 0 {
+                    if i.is_multiple_of(2) {
                         "even"
                     } else {
                         "odd"

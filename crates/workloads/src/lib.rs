@@ -25,10 +25,7 @@ pub mod tpcc;
 /// Splits a value into `u64` fields (all workload values are packed
 /// little-endian u64 arrays).
 pub fn fields(value: &[u8]) -> Vec<u64> {
-    value
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk")))
-        .collect()
+    value.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("chunk"))).collect()
 }
 
 /// Packs `u64` fields into a value.

@@ -165,7 +165,11 @@ impl MicroWorker {
         } else {
             self.w.node
         };
-        (node, node as u64 * self.cfg.records_per_node + self.rng.gen_range(0..self.cfg.records_per_node))
+        (
+            node,
+            node as u64 * self.cfg.records_per_node
+                + self.rng.gen_range(0..self.cfg.records_per_node),
+        )
     }
 
     fn pick_hot(&mut self) -> (NodeId, u64) {

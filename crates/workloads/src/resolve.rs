@@ -84,8 +84,9 @@ impl Table {
                 let mut txn = region.begin(worker.executor().config());
                 if let Ok(found) = table.get_local(&mut txn, key) {
                     if txn.commit().is_ok() {
-                        return found
-                            .map(|e| RecordAddr::new(drtm_rdma::GlobalAddr::new(server, e.offset), cap));
+                        return found.map(|e| {
+                            RecordAddr::new(drtm_rdma::GlobalAddr::new(server, e.offset), cap)
+                        });
                     }
                 }
                 std::thread::yield_now();
@@ -100,7 +101,12 @@ impl Table {
     }
 
     /// Uncached resolution (used to measure the cache's benefit).
-    pub fn resolve_uncached(&self, worker: &Worker, server: NodeId, key: u64) -> Option<RecordAddr> {
+    pub fn resolve_uncached(
+        &self,
+        worker: &Worker,
+        server: NodeId,
+        key: u64,
+    ) -> Option<RecordAddr> {
         if server == worker.node {
             return self.resolve(worker, server, key);
         }

@@ -17,9 +17,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use drtm_core::{
-    DrTm, DrTmConfig, NodeLayout, RecordAddr, SoftTimer, TxnError, TxnSpec, Worker,
-};
+use drtm_core::{DrTm, DrTmConfig, NodeLayout, RecordAddr, SoftTimer, TxnError, TxnSpec, Worker};
 use drtm_htm::{Executor, HtmStats};
 use drtm_memstore::{Arena, ClusterHash};
 use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile, NodeId};

@@ -178,10 +178,16 @@ impl Tpcc {
                 Arc::new(ClusterHash::create(arena, n, (rows / 4).max(16), cap, 0))
             };
             let _ = mk; // value_cap varies; build each table explicitly
-            let t_w = ClusterHash::create(&mut arena, n, 16, wh_per_node as usize + 1, val::WAREHOUSE);
+            let t_w =
+                ClusterHash::create(&mut arena, n, 16, wh_per_node as usize + 1, val::WAREHOUSE);
             let t_d = ClusterHash::create(&mut arena, n, 64, dists as usize + 1, val::DISTRICT);
-            let t_c =
-                ClusterHash::create(&mut arena, n, custs as usize / 4, custs as usize + 1, val::CUSTOMER);
+            let t_c = ClusterHash::create(
+                &mut arena,
+                n,
+                custs as usize / 4,
+                custs as usize + 1,
+                val::CUSTOMER,
+            );
             let t_s = ClusterHash::create(
                 &mut arena,
                 n,
@@ -189,8 +195,13 @@ impl Tpcc {
                 stock_rows as usize + 1,
                 val::STOCK,
             );
-            let t_i =
-                ClusterHash::create(&mut arena, n, cfg.items as usize / 4, cfg.items as usize + 1, val::ITEM);
+            let t_i = ClusterHash::create(
+                &mut arena,
+                n,
+                cfg.items as usize / 4,
+                cfg.items as usize + 1,
+                val::ITEM,
+            );
             let t_o = ClusterHash::create(&mut arena, n, order_cap / 4, order_cap, val::ORDER);
             let t_ol = ClusterHash::create(&mut arena, n, ol_cap / 4, ol_cap, val::ORDER_LINE);
             let t_h = ClusterHash::create(&mut arena, n, order_cap / 4, order_cap, val::HISTORY);
@@ -200,22 +211,26 @@ impl Tpcc {
             let tree_cn = BTree::create(&mut arena, region, n, custs as usize / 7 + 64);
 
             let exec = Executor::new(cfg.drtm.htm.clone(), Arc::new(HtmStats::new()));
-            populate_node(&cfg, n, region, &exec, Pop {
-                w: &t_w,
-                d: &t_d,
-                c: &t_c,
-                s: &t_s,
-                i: &t_i,
-                o: &t_o,
-                ol: &t_ol,
-                no: &tree_no,
-                co: &tree_co,
-                cn: &tree_cn,
-            });
+            populate_node(
+                &cfg,
+                n,
+                region,
+                &exec,
+                Pop {
+                    w: &t_w,
+                    d: &t_d,
+                    c: &t_c,
+                    s: &t_s,
+                    i: &t_i,
+                    o: &t_o,
+                    ol: &t_ol,
+                    no: &tree_no,
+                    co: &tree_co,
+                    cn: &tree_cn,
+                },
+            );
 
-            for (slot, t) in
-                [t_w, t_d, t_c, t_s, t_i, t_o, t_ol, t_h].into_iter().enumerate()
-            {
+            for (slot, t) in [t_w, t_d, t_c, t_s, t_i, t_o, t_ol, t_h].into_iter().enumerate() {
                 shards[slot].push(Arc::new(t));
             }
             new_order_idx.push(Arc::new(tree_no));
@@ -376,8 +391,13 @@ fn populate_node(
         let w = n as u64 * wh_per_node + wl;
         t.w.insert(exec, region, warehouse(w), &pack_fields(&[0, 750])).expect("warehouse");
         for d in 0..cfg.districts {
-            t.d.insert(exec, region, district(w, d), &pack_fields(&[0, 850, cfg.customers_per_district]))
-                .expect("district");
+            t.d.insert(
+                exec,
+                region,
+                district(w, d),
+                &pack_fields(&[0, 850, cfg.customers_per_district]),
+            )
+            .expect("district");
             for c in 0..cfg.customers_per_district {
                 let last_name_id = c % 97; // clustered last names, like the spec's NURand
                 t.c.insert(
@@ -392,14 +412,13 @@ fn populate_node(
                 let o = c;
                 t.o.insert(exec, region, order(w, d, o), &pack_fields(&[c, 0, 1, 1]))
                     .expect("order");
-                t.ol
-                    .insert(
-                        exec,
-                        region,
-                        order_line(w, d, o, 0),
-                        &pack_fields(&[o % cfg.items, w, 5, 500, 1]),
-                    )
-                    .expect("order line");
+                t.ol.insert(
+                    exec,
+                    region,
+                    order_line(w, d, o, 0),
+                    &pack_fields(&[o % cfg.items, w, 5, 500, 1]),
+                )
+                .expect("order line");
                 tree_insert(region, exec, t.co, cust_order(w, d, c, o), o);
                 // The youngest third of seed orders are undelivered.
                 if c * 3 >= cfg.customers_per_district * 2 {

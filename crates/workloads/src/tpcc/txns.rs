@@ -180,7 +180,11 @@ impl TpccWorker {
                 total = total.wrapping_add(qty.wrapping_mul(price));
             }
             // Order rows and indexes.
-            ctx.hash_insert(&order_tab, keys::order(w, d, o_id), &pack_fields(&[c, seq, 0, ol_cnt]))?;
+            ctx.hash_insert(
+                &order_tab,
+                keys::order(w, d, o_id),
+                &pack_fields(&[c, seq, 0, ol_cnt]),
+            )?;
             for (k, &(i, supply, qty)) in lines.iter().enumerate() {
                 ctx.hash_insert(
                     &ol_tab,
@@ -369,8 +373,7 @@ impl TpccWorker {
             let (c, ol_cnt) = (of[0], of[3].min(15));
             let mut spec = TxnSpec::default();
             spec.local_writes.push(order_rec);
-            spec.local_writes
-                .push(self.resolve(&self.t.customer, node, keys::customer(w, d, c)));
+            spec.local_writes.push(self.resolve(&self.t.customer, node, keys::customer(w, d, c)));
             let mut ol_idx = Vec::new();
             for ol in 0..ol_cnt {
                 if let Some(rec) =

@@ -22,8 +22,10 @@ fn main() {
         region_size: 24 << 20,
         ..Default::default()
     };
-    println!("building SmallBank: {} nodes x {} workers, {} accounts/node ...",
-        cfg.nodes, cfg.workers, cfg.accounts_per_node);
+    println!(
+        "building SmallBank: {} nodes x {} workers, {} accounts/node ...",
+        cfg.nodes, cfg.workers, cfg.accounts_per_node
+    );
     let sb = Arc::new(SmallBank::build(cfg));
 
     let before = sb.total_balance();
@@ -49,10 +51,7 @@ fn main() {
 
     println!("\ncounts: {:?}", report.counts());
     println!("throughput: {:.2} M txn/s (virtual time)", report.throughput() / 1e6);
-    println!(
-        "latency p50/p99: {:?} µs",
-        report.latency_percentiles_us(None, &[0.5, 0.99])
-    );
+    println!("latency p50/p99: {:?} µs", report.latency_percentiles_us(None, &[0.5, 0.99]));
 
     let after = sb.total_balance();
     println!("total balance drift: {} (bounded by deposits/withdrawals)", after.abs_diff(before));

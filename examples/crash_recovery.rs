@@ -23,7 +23,8 @@ use drtm::workloads::resolve::Table;
 fn build(crash: Option<CrashPoint>) -> (Arc<DrTm>, Table, NodeLayout) {
     let mut cfg = DrTmConfig { logging: true, crash_point: crash, ..Default::default() };
     cfg.htm = Default::default();
-    let cluster = Cluster::new(ClusterConfig { nodes: 2, region_size: 8 << 20, ..Default::default() });
+    let cluster =
+        Cluster::new(ClusterConfig { nodes: 2, region_size: 8 << 20, ..Default::default() });
     let mut layouts = Vec::new();
     let mut shards = Vec::new();
     for n in 0..2u16 {

@@ -18,7 +18,8 @@ use drtm::workloads::resolve::Table;
 fn main() {
     // 1. A cluster of two simulated machines with 16 MB regions each.
     let cfg = DrTmConfig::default();
-    let cluster = Cluster::new(ClusterConfig { nodes: 2, region_size: 16 << 20, ..Default::default() });
+    let cluster =
+        Cluster::new(ClusterConfig { nodes: 2, region_size: 16 << 20, ..Default::default() });
 
     // 2. Identical layout on every machine: softtime line, one log slot
     //    per worker, then an "accounts" hash table.

@@ -26,15 +26,9 @@ struct Transfer {
 }
 
 fn transfer(nodes: u16) -> impl Strategy<Value = Transfer> {
-    (0..nodes, 0..PER_NODE, 0..nodes, 0..PER_NODE, 1u64..50).prop_map(
-        |(sn, sk, dn, dk, amount)| Transfer {
-            src_node: sn,
-            src_key: sk,
-            dst_node: dn,
-            dst_key: dk,
-            amount,
-        },
-    )
+    (0..nodes, 0..PER_NODE, 0..nodes, 0..PER_NODE, 1u64..50).prop_map(|(sn, sk, dn, dk, amount)| {
+        Transfer { src_node: sn, src_key: sk, dst_node: dn, dst_key: dk, amount }
+    })
 }
 
 fn build(nodes: usize) -> (Arc<DrTm>, Arc<Table>, SoftTimer) {

@@ -1,6 +1,7 @@
 //! Property-based tests of the storage substrates against model
 //! implementations (`std` maps), plus encoding invariants.
 
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -20,7 +21,8 @@ enum HashOp {
 
 fn hash_op() -> impl Strategy<Value = HashOp> {
     prop_oneof![
-        (0u64..64, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(|(k, v)| HashOp::Insert(k, v)),
+        (0u64..64, proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(k, v)| HashOp::Insert(k, v)),
         (0u64..64).prop_map(HashOp::Delete),
         (0u64..64).prop_map(HashOp::Get),
     ]
@@ -44,11 +46,14 @@ proptest! {
             match op {
                 HashOp::Insert(k, v) => {
                     let got = table.insert(&exec, &region, k, &v);
-                    if model.contains_key(&k) {
-                        prop_assert_eq!(got, Err(InsertError::Duplicate));
-                    } else {
-                        prop_assert!(got.is_ok());
-                        model.insert(k, v);
+                    match model.entry(k) {
+                        Entry::Occupied(_) => {
+                            prop_assert_eq!(got, Err(InsertError::Duplicate));
+                        }
+                        Entry::Vacant(e) => {
+                            prop_assert!(got.is_ok());
+                            e.insert(v);
+                        }
                     }
                 }
                 HashOp::Delete(k) => {
@@ -160,7 +165,7 @@ proptest! {
         for (i, v) in vals.iter().enumerate() {
             txn.write_u64(i * 64, *v).unwrap();
         }
-        if seed % 2 == 0 {
+        if seed.is_multiple_of(2) {
             txn.commit().unwrap();
             for (i, v) in vals.iter().enumerate() {
                 prop_assert_eq!(region.read_u64_nt(i * 64), *v);

@@ -7,8 +7,7 @@ use drtm::htm::{Executor, HtmStats};
 use drtm::memstore::{Arena, ClusterHash};
 use drtm::rdma::{Cluster, ClusterConfig, LatencyProfile};
 use drtm::txn::{
-    recover_node, CrashPoint, DrTm, DrTmConfig, LockState, NodeLayout, SoftTimer, TxnError,
-    TxnSpec,
+    recover_node, CrashPoint, DrTm, DrTmConfig, LockState, NodeLayout, SoftTimer, TxnError, TxnSpec,
 };
 use drtm::workloads::resolve::Table;
 

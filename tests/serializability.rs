@@ -139,11 +139,8 @@ fn read_only_snapshots_are_consistent() {
                 let mut w = sys.worker(0, 0);
                 let a = accounts.resolve(&w, 0, 0).unwrap();
                 let b = accounts.resolve(&w, 1, PER_NODE).unwrap();
-                let spec = TxnSpec {
-                    local_writes: vec![a],
-                    remote_writes: vec![b],
-                    ..Default::default()
-                };
+                let spec =
+                    TxnSpec { local_writes: vec![a], remote_writes: vec![b], ..Default::default() };
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     w.execute(&spec, |ctx| {
                         let x = u(&ctx.local_write_cur(0)?);

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` entry points,
+//! `Criterion::bench_function` and `Bencher::iter` with a simple
+//! calibrated timing loop that prints mean ns/iter. No statistics,
+//! plots or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for CLI compatibility; returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.mean_ns);
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count against the warm-up budget, then
+    /// measures `samples` batches within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find how many iterations fit in ~1/10 warm-up.
+        let calib_budget = self.warm_up.max(Duration::from_millis(10)) / 10;
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= calib_budget || batch >= 1 << 30 {
+                break;
+            }
+            batch = if took.is_zero() {
+                batch * 128
+            } else {
+                (batch as f64 * (calib_budget.as_secs_f64() / took.as_secs_f64()).min(128.0))
+                    .max(batch as f64 + 1.0) as u64
+            };
+        }
+        let per_sample = (batch / self.samples as u64).max(1);
+        let deadline = Instant::now() + self.budget;
+        let mut total_ns = 0.0f64;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            iters += per_sample;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = if iters == 0 { 0.0 } else { total_ns / iters as f64 };
+    }
+}
+
+/// Declares a benchmark group as a function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

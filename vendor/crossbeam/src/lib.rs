@@ -1,0 +1,172 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides only `crossbeam::channel` with the subset used by this
+//! workspace: unbounded MPMC channels whose `Sender` and `Receiver` are
+//! both cloneable, with blocking, non-blocking and timed receives.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel; cloneable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of an unbounded channel; cloneable (MPMC).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error returned by [`Sender::send`]; never produced here because
+    /// both halves share ownership of the queue.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by a blocking receive on a closed channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have disconnected (not modelled; never returned).
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders have disconnected (not modelled; never returned).
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks, never fails.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.pop_front().ok_or(TryRecvError::Empty)
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn timeout_expires() {
+            let (_tx, rx) = unbounded::<u8>();
+            let got = rx.recv_timeout(Duration::from_millis(5));
+            assert_eq!(got, Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u64).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+}
