@@ -7,10 +7,23 @@
 #   cargo fmt --all -- --check
 #   cargo clippy --workspace --all-targets -- -D warnings
 #
+# With --bench-smoke, additionally runs the two headline bench harnesses
+# at minimum scale into a scratch directory and validates the
+# machine-readable BENCH_*.json they emit (schema keys present, numbers
+# finite, throughput positive). See EXPERIMENTS.md for the schema.
+#
 # The build is fully offline: third-party deps resolve to the minimal
 # vendored stubs under vendor/ via [patch.crates-io] in Cargo.toml.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -23,5 +36,18 @@ cargo fmt --all -- --check
 
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  echo "== bench smoke: fig10d + fig12 at minimum scale =="
+  SMOKE_OUT="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_OUT"' EXIT
+  DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
+    cargo bench -q -p drtm-bench --bench fig10d_cache_size
+  DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
+    cargo bench -q -p drtm-bench --bench fig12_tpcc_machines
+  echo "== bench smoke: validate emitted JSON =="
+  cargo run -q --release -p drtm-bench --bin check_bench_json -- \
+    "$SMOKE_OUT"/BENCH_*.json
+fi
 
 echo "CI OK"

@@ -6,11 +6,13 @@
 //! 320 MB cache holds every location).
 
 use drtm_bench::kv::{KvBench, KvSystem};
+use drtm_bench::report::BenchReport;
 use drtm_bench::{banner, mops, row, scaled};
 use drtm_workloads::dist::KeyDist;
 
 fn main() {
     banner("fig10d", "cache size vs throughput (64 B values)");
+    let wall = std::time::Instant::now();
     let keys = scaled(100_000, 10_000);
     let per_thread = scaled(4_000, 500);
     // Full-cache budget: enough for the table's (power-of-two rounded)
@@ -28,6 +30,8 @@ fn main() {
     let mut uniform_small = 0.0;
     let mut uniform_full = 0.0;
     let mut zipf_small = 0.0;
+    let mut rep = BenchReport::new("fig10d_cache_size", 0.0, 0.0);
+    let mut full_warm_stats = drtm_memstore::CacheStats::default();
     for &budget in &budgets {
         let mut cols = vec![format!("{}KB", budget >> 10)];
         for (dname, dist) in
@@ -37,11 +41,22 @@ fn main() {
                 let b = KvBench::build(KvSystem::DrtmKvCache { budget, warm }, keys, 64, 0.75);
                 let run = b.run(5, 8, per_thread, &dist);
                 cols.push(mops(run.throughput));
+                let stats = b.cache_stats();
+                let state = if warm { "warm" } else { "cold" };
+                rep.push_extra(
+                    &format!("{dname}_{state}_{}kb_mops", budget >> 10),
+                    run.throughput / 1e6,
+                );
+                rep.push_extra(
+                    &format!("{dname}_{state}_{}kb_hit_rate", budget >> 10),
+                    stats.hit_rate(),
+                );
                 if budget == budgets[0] && dname == "uniform" && warm {
                     uniform_small = run.throughput;
                 }
                 if budget == full && dname == "uniform" && warm {
                     uniform_full = run.throughput;
+                    full_warm_stats = stats;
                 }
                 if budget == budgets[0] && dname == "zipf" && warm {
                     zipf_small = run.throughput;
@@ -50,6 +65,15 @@ fn main() {
         }
         row(&cols);
     }
+    println!(
+        "cache counters @ full/warm/uniform: {} hits, {} misses, {} fetches, {} invalidations \
+         (hit rate {:.3})",
+        full_warm_stats.hits,
+        full_warm_stats.misses,
+        full_warm_stats.fetches,
+        full_warm_stats.invalidations,
+        full_warm_stats.hit_rate()
+    );
     assert!(
         uniform_full > uniform_small,
         "uniform workload must benefit from a bigger cache ({uniform_small} -> {uniform_full})"
@@ -59,4 +83,8 @@ fn main() {
         "skew is cache-friendly: zipf must beat uniform at small budgets"
     );
     println!("(paper: skewed workload retains ~19 Mops at the smallest cache; uniform drops)");
+    rep.wall_seconds = wall.elapsed().as_secs_f64();
+    rep.throughput = uniform_full;
+    rep.cache_hit_rate = full_warm_stats.hit_rate();
+    rep.write();
 }

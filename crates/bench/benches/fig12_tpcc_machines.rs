@@ -1,6 +1,7 @@
 //! Figure 12: TPC-C throughput with increasing machine count, DrTM vs
 //! the Calvin baseline (new-order and standard-mix).
 
+use drtm_bench::report::{causes_of, rdma_ops_per_txn, BenchReport};
 use drtm_bench::runners::{calvin_run, tpcc_run_with};
 use drtm_bench::{banner, diagnostics, mops, row, scaled};
 use drtm_calvin::{Calvin, CalvinConfig};
@@ -20,6 +21,7 @@ fn drtm_cfg(nodes: usize) -> TpccConfig {
 
 fn main() {
     banner("fig12", "TPC-C throughput vs machines (8 workers each)");
+    let wall = std::time::Instant::now();
     let iters = scaled(220, 40);
     let warmup = iters / 5;
     row(&[
@@ -31,6 +33,7 @@ fn main() {
     ]);
     let mut last_ratio = 0.0;
     let mut drtm_curve = Vec::new();
+    let mut json = BenchReport::new("fig12_tpcc_machines", 0.0, 0.0);
     for nodes in 1..=6usize {
         let (rep, diag) = tpcc_run_with(drtm_cfg(nodes), iters, warmup);
         let std_mix = rep.throughput();
@@ -55,8 +58,13 @@ fn main() {
             mops(calvin_std),
             format!("{last_ratio:.1}x"),
         ]);
+        json.push_extra(&format!("drtm_std_mix_{nodes}n_mops"), std_mix / 1e6);
+        json.push_extra(&format!("calvin_std_mix_{nodes}n_mops"), calvin_std / 1e6);
         if nodes == 6 {
             diagnostics("DrTM, 6 machines", &diag);
+            json.throughput = std_mix;
+            json.aborts_per_cause = causes_of(&diag);
+            json.rdma_ops_per_txn = rdma_ops_per_txn(&diag);
         }
     }
     assert!(
@@ -65,4 +73,7 @@ fn main() {
     );
     assert!(last_ratio > 5.0, "DrTM must clearly outperform Calvin (paper: 17.9-21.9x)");
     println!("(paper: DrTM 3.67M std-mix on 6 machines; >=17.9x over Calvin)");
+    json.push_extra("calvin_speedup_x", last_ratio);
+    json.wall_seconds = wall.elapsed().as_secs_f64();
+    json.write();
 }

@@ -1,0 +1,101 @@
+//! CI gate over emitted `BENCH_*.json` files.
+//!
+//! Usage: `check_bench_json [FILE ...]` — with no arguments, checks
+//! every `BENCH_*.json` in the bench output directory (`DRTM_BENCH_OUT`
+//! or the repo root). A file fails if it does not parse, misses a
+//! required key, carries a non-numeric (`null` = NaN/inf at emission
+//! time) required value, or reports zero/negative throughput or wall
+//! time — any of which means the harness produced garbage, not a slow
+//! result.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use drtm_bench::report::{out_dir, parse, Json};
+
+const REQUIRED_NUMERIC: &[&str] = &[
+    "schema_version",
+    "scale",
+    "wall_seconds",
+    "throughput",
+    "rdma_ops_per_txn",
+    "cache_hit_rate",
+];
+
+fn check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let j = parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    match j.get("bench") {
+        Some(Json::Str(s)) if !s.is_empty() => {}
+        _ => return Err("missing or empty \"bench\"".into()),
+    }
+    for key in REQUIRED_NUMERIC {
+        let v = j.get(key).ok_or(format!("missing \"{key}\""))?;
+        let x = v.as_f64().ok_or(format!("\"{key}\" is not a finite number (got {v:?})"))?;
+        if !x.is_finite() {
+            return Err(format!("\"{key}\" is not finite"));
+        }
+    }
+    for key in ["aborts_per_cause", "extra"] {
+        match j.get(key) {
+            Some(Json::Obj(m)) => {
+                for (k, v) in m {
+                    if v.as_f64().is_none() {
+                        return Err(format!("\"{key}.{k}\" is not a finite number (got {v:?})"));
+                    }
+                }
+            }
+            other => return Err(format!("\"{key}\" must be an object (got {other:?})")),
+        }
+    }
+    let tput = j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);
+    if tput <= 0.0 {
+        return Err(format!("throughput must be positive (got {tput})"));
+    }
+    let wall = j.get("wall_seconds").and_then(Json::as_f64).unwrap_or(0.0);
+    if wall <= 0.0 {
+        return Err(format!("wall_seconds must be positive (got {wall})"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() {
+        let dir = out_dir();
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        if found.is_empty() {
+            eprintln!("check_bench_json: no BENCH_*.json under {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        found
+    } else {
+        args
+    };
+    let mut failed = false;
+    for f in &files {
+        match check(f) {
+            Ok(()) => println!("ok      {}", f.display()),
+            Err(e) => {
+                println!("FAILED  {}: {e}", f.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -50,7 +50,9 @@ impl KvSystem {
 enum TableImpl {
     Cuckoo(CuckooHash),
     Hopscotch(HopscotchHash),
-    Cluster(ClusterHash),
+    // Boxed: the sharded entry allocator makes this variant much larger
+    // than the other two.
+    Cluster(Box<ClusterHash>),
 }
 
 /// One populated key-value deployment.
@@ -151,7 +153,7 @@ impl KvBench {
                     t.insert(&exec, region, k, &vbytes(k, value_size)).expect("populate");
                     keys_list.push(k);
                 }
-                TableImpl::Cluster(t)
+                TableImpl::Cluster(Box::new(t))
             }
         };
         let caches = match system {
@@ -166,6 +168,20 @@ impl KvBench {
     /// The underlying cluster (for counters).
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// Aggregated location-cache counters across all client machines
+    /// (all zero when the system has no cache).
+    pub fn cache_stats(&self) -> drtm_memstore::CacheStats {
+        let mut total = drtm_memstore::CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.fetches += s.fetches;
+            total.invalidations += s.invalidations;
+        }
+        total
     }
 
     fn get(&self, client: NodeId, key: u64) -> (bool, u32) {

@@ -7,6 +7,7 @@
 //! precision for runtime (EXPERIMENTS.md was produced with the default).
 
 pub mod kv;
+pub mod report;
 pub mod runners;
 
 /// Global effort multiplier from `DRTM_SCALE`.

@@ -1,0 +1,380 @@
+//! Machine-readable benchmark output: `BENCH_<target>.json`.
+//!
+//! Every run of an instrumented harness writes one JSON file next to the
+//! human-readable rows so trajectories can be diffed across commits
+//! (EXPERIMENTS.md documents the schema and the workflow). The format is
+//! hand-rolled — the workspace builds offline with no serde — and kept
+//! deliberately flat: top-level scalars plus two string-keyed maps.
+//!
+//! This module also carries [`parse`], a minimal JSON reader used by the
+//! `check_bench_json` CI gate to validate what the harnesses emitted.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every file; bump when keys change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark run's machine-readable summary.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Bench target name (`fig10d_cache_size`, ...): the file suffix.
+    pub bench: String,
+    /// Host wall-clock duration of the measured section, in seconds.
+    pub wall_seconds: f64,
+    /// Headline throughput in ops (txns) per second of virtual time.
+    pub throughput: f64,
+    /// Aborted attempts per cause over the measured window.
+    pub aborts_per_cause: Vec<(String, u64)>,
+    /// One-sided + two-sided RDMA operations per committed transaction.
+    pub rdma_ops_per_txn: f64,
+    /// Location-cache hit rate (0 when the bench has no cache).
+    pub cache_hit_rate: f64,
+    /// `DRTM_SCALE` the run used.
+    pub scale: f64,
+    /// Bench-specific extra series (sweep points, speedups, ...).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// A report with required headline fields; fill maps via the fields.
+    pub fn new(bench: &str, wall_seconds: f64, throughput: f64) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            wall_seconds,
+            throughput,
+            aborts_per_cause: Vec::new(),
+            rdma_ops_per_txn: 0.0,
+            cache_hit_rate: 0.0,
+            scale: crate::scale(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds one bench-specific numeric datum.
+    pub fn push_extra(&mut self, key: &str, value: f64) {
+        self.extra.push((key.to_string(), value));
+    }
+
+    /// Serialises to a JSON object (NaN/infinite numbers become `null`,
+    /// which the CI gate rejects — invalid data must not masquerade as a
+    /// plausible number).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"bench\": {},\n", quote(&self.bench)));
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        s.push_str(&format!("  \"scale\": {},\n", num(self.scale)));
+        s.push_str(&format!("  \"wall_seconds\": {},\n", num(self.wall_seconds)));
+        s.push_str(&format!("  \"throughput\": {},\n", num(self.throughput)));
+        s.push_str(&format!("  \"rdma_ops_per_txn\": {},\n", num(self.rdma_ops_per_txn)));
+        s.push_str(&format!("  \"cache_hit_rate\": {},\n", num(self.cache_hit_rate)));
+        s.push_str("  \"aborts_per_cause\": {");
+        for (i, (k, v)) in self.aborts_per_cause.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {v}", quote(k)));
+        }
+        s.push_str("},\n  \"extra\": {");
+        for (i, (k, v)) in self.extra.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", quote(k), num(*v)));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<bench>.json` into [`out_dir`]; returns the path.
+    pub fn write(&self) -> PathBuf {
+        let path = out_dir().join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json()).expect("write bench json");
+        println!("wrote {}", path.display());
+        path
+    }
+}
+
+/// Copies the abort-cause breakdown out of a diagnostics report.
+pub fn causes_of(report: &drtm_core::StatsReport) -> Vec<(String, u64)> {
+    report.causes.nonzero().into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+/// Total RDMA verb operations (one- and two-sided) per committed txn.
+pub fn rdma_ops_per_txn(report: &drtm_core::StatsReport) -> f64 {
+    if report.txn.committed == 0 {
+        return 0.0;
+    }
+    let ops = report.rdma.reads + report.rdma.writes + report.rdma.cas + report.rdma.sends;
+    ops as f64 / report.txn.committed as f64
+}
+
+/// Where `BENCH_*.json` files go: `DRTM_BENCH_OUT` if set, else the
+/// repository root (bench targets run with the package as cwd, so the
+/// default is two levels up from this crate's manifest).
+pub fn out_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("DRTM_BENCH_OUT") {
+        return PathBuf::from(d);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| ".".into())
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".into();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// A parsed JSON value (the subset the bench schema uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite numbers serialise to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; `Err` carries a byte offset and
+/// reason.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let mut r = BenchReport::new("unit", 1.25, 2_000_000.0);
+        r.aborts_per_cause = vec![("conflict".into(), 7), ("capacity".into(), 1)];
+        r.rdma_ops_per_txn = 3.5;
+        r.cache_hit_rate = 0.875;
+        r.push_extra("speedup_x", 4.0);
+        let j = parse(&r.to_json()).expect("own output parses");
+        assert_eq!(j.get("bench"), Some(&Json::Str("unit".into())));
+        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(SCHEMA_VERSION as f64));
+        assert_eq!(j.get("throughput").and_then(Json::as_f64), Some(2_000_000.0));
+        assert_eq!(
+            j.get("aborts_per_cause").and_then(|m| m.get("conflict")).and_then(Json::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            j.get("extra").and_then(|m| m.get("speedup_x")).and_then(Json::as_f64),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let r = BenchReport::new("unit", f64::NAN, f64::INFINITY);
+        let j = parse(&r.to_json()).expect("still valid json");
+        assert_eq!(j.get("wall_seconds"), Some(&Json::Null));
+        assert_eq!(j.get("throughput"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let j = parse("{\"a\": [1, {\"b\\n\": \"x\\u0041\"}], \"c\": -1.5e3}").unwrap();
+        assert_eq!(j.get("c").and_then(Json::as_f64), Some(-1500.0));
+        match j.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1].get("b\n"), Some(&Json::Str("xA".into())));
+            }
+            other => panic!("bad array: {other:?}"),
+        }
+    }
+}

@@ -67,6 +67,7 @@ impl RoCtx<'_> {
     /// (tree scans and lookups for discovering the read set).
     pub fn local_scan<T>(&self, mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>) -> T {
         let region = self.worker.region().clone();
+        let mut backoff = drtm_htm::backoff::Backoff::new();
         loop {
             let mut txn = region.begin(self.worker.executor().config());
             if let Ok(v) = f(&mut txn) {
@@ -74,7 +75,7 @@ impl RoCtx<'_> {
                     return v;
                 }
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 

@@ -1080,6 +1080,7 @@ impl<'r> TxnCtx<'r> {
         &self,
         mut f: impl FnMut(&mut HtmTxn<'_>) -> Result<T, Abort>,
     ) -> Result<T, Abort> {
+        let mut backoff = drtm_htm::backoff::Backoff::new();
         loop {
             let mut txn = self.region.begin(self.exec.config());
             match f(&mut txn) {
@@ -1091,7 +1092,7 @@ impl<'r> TxnCtx<'r> {
                 Err(a @ Abort::Explicit(_)) => return Err(a),
                 Err(_) => {}
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 

@@ -51,6 +51,7 @@
 //! assert_eq!(txn.commit(), Err(Abort::Conflict));
 //! ```
 
+pub mod backoff;
 mod exec;
 mod region;
 mod stats;

@@ -8,7 +8,20 @@
 //! 2. At run time each pool allocates fixed-size cells from its range via
 //!    a [`FreeList`]. INSERT/DELETE are always executed on the host
 //!    machine (§5.1 footnote 5), so the free list is ordinary host-side
-//!    state guarded by a mutex, not region memory.
+//!    state, not region memory.
+//!
+//! # Concurrency
+//!
+//! The free list used to be one global mutex, which serialized every
+//! inserting worker on the machine. It is now sharded: each worker
+//! thread maps to a shard holding its own free-cell stack, and a shard
+//! that runs dry carves a *slab* of fresh cells from the shared bump
+//! cursor (a single atomic) in one step. Allocation and free are
+//! therefore local to the worker's shard — the only cross-shard traffic
+//! is slab carving (amortized over [`SLAB_CELLS`] allocations) and
+//! end-of-pool stealing when the bump region is exhausted.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -47,19 +60,42 @@ impl Arena {
     }
 }
 
+/// Number of free-list shards (power of two). Worker threads spread
+/// across shards round-robin, so up to this many workers allocate with
+/// zero contention.
+const NSHARDS: usize = 8;
+
+/// Cells carved from the shared bump cursor per refill. One atomic RMW
+/// buys this many lock-free local allocations.
+const SLAB_CELLS: usize = 32;
+
+/// Per-worker shard id: threads enumerate themselves on first use and
+/// keep their shard for life, so a worker's alloc/free traffic stays on
+/// one uncontended stack.
+fn shard_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (NSHARDS - 1);
+    }
+    SHARD.with(|s| *s)
+}
+
 /// Run-time allocator of fixed-size cells within a reserved range.
+///
+/// Sharded per worker thread: see the module docs.
 #[derive(Debug)]
 pub struct FreeList {
-    inner: Mutex<FreeListInner>,
+    /// Next never-allocated cell index; monotonically clamped to
+    /// `capacity`.
+    bump: AtomicUsize,
+    /// Free cells returned (or slab remainders), one stack per shard.
+    shards: [Mutex<Vec<usize>>; NSHARDS],
+    /// Total cells sitting on shard stacks (kept exact so [`Self::live`]
+    /// needs no cross-shard locking).
+    free_cells: AtomicUsize,
     base: usize,
     cell: usize,
     capacity: usize,
-}
-
-#[derive(Debug)]
-struct FreeListInner {
-    bump: usize,
-    free: Vec<usize>,
 }
 
 impl FreeList {
@@ -67,7 +103,9 @@ impl FreeList {
     /// at region offset `base`.
     pub fn new(base: usize, cell: usize, capacity: usize) -> Self {
         FreeList {
-            inner: Mutex::new(FreeListInner { bump: 0, free: Vec::new() }),
+            bump: AtomicUsize::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            free_cells: AtomicUsize::new(0),
             base,
             cell,
             capacity,
@@ -84,22 +122,56 @@ impl FreeList {
         self.capacity
     }
 
-    /// Allocates one cell; returns its region offset, or `None` if full.
-    pub fn alloc(&self) -> Option<usize> {
-        let mut inner = self.inner.lock();
-        if let Some(off) = inner.free.pop() {
-            return Some(off);
-        }
-        if inner.bump < self.capacity {
-            let off = self.base + inner.bump * self.cell;
-            inner.bump += 1;
-            Some(off)
-        } else {
-            None
+    /// Carves up to [`SLAB_CELLS`] cells from the bump region; returns
+    /// the first index and the count (0 when the pool is exhausted).
+    fn carve(&self) -> (usize, usize) {
+        let mut cur = self.bump.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return (0, 0);
+            }
+            let end = (cur + SLAB_CELLS).min(self.capacity);
+            match self.bump.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return (cur, end - cur),
+                Err(actual) => cur = actual,
+            }
         }
     }
 
-    /// Returns a cell to the allocator.
+    /// Allocates one cell; returns its region offset, or `None` if full.
+    ///
+    /// The common case pops from the calling worker's shard stack; a dry
+    /// shard refills itself with a slab from the shared bump cursor, and
+    /// only when that too is exhausted does it steal from other shards.
+    pub fn alloc(&self) -> Option<usize> {
+        let home = shard_id();
+        if let Some(idx) = self.shards[home].lock().pop() {
+            self.free_cells.fetch_sub(1, Ordering::Relaxed);
+            return Some(self.base + idx * self.cell);
+        }
+        let (start, got) = self.carve();
+        if got > 0 {
+            if got > 1 {
+                let mut shard = self.shards[home].lock();
+                // Remainders pushed in descending order so they pop in
+                // ascending cell order (matches the pre-shard layout).
+                shard.extend((start + 1..start + got).rev());
+                self.free_cells.fetch_add(got - 1, Ordering::Relaxed);
+            }
+            return Some(self.base + start * self.cell);
+        }
+        // Bump region exhausted: steal a cell from any other shard.
+        for delta in 1..NSHARDS {
+            let victim = (home + delta) & (NSHARDS - 1);
+            if let Some(idx) = self.shards[victim].lock().pop() {
+                self.free_cells.fetch_sub(1, Ordering::Relaxed);
+                return Some(self.base + idx * self.cell);
+            }
+        }
+        None
+    }
+
+    /// Returns a cell to the allocator (to the calling worker's shard).
     ///
     /// # Panics
     ///
@@ -111,13 +183,14 @@ impl FreeList {
                 && (offset - self.base) / self.cell < self.capacity,
             "free of foreign offset {offset}"
         );
-        self.inner.lock().free.push(offset);
+        self.shards[shard_id()].lock().push((offset - self.base) / self.cell);
+        self.free_cells.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of live (allocated, not freed) cells.
     pub fn live(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.bump - inner.free.len()
+        let bumped = self.bump.load(Ordering::Relaxed).min(self.capacity);
+        bumped - self.free_cells.load(Ordering::Relaxed).min(bumped)
     }
 }
 
@@ -181,6 +254,32 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 1000, "double allocation detected");
+        assert!(f.alloc().is_none());
+        assert_eq!(f.live(), 1000);
+    }
+
+    #[test]
+    fn cross_thread_free_is_reallocated() {
+        let f = std::sync::Arc::new(FreeList::new(0, 8, SLAB_CELLS));
+        let offs: Vec<usize> = (0..SLAB_CELLS).map(|_| f.alloc().unwrap()).collect();
+        assert!(f.alloc().is_none());
+        // A different thread frees half the cells into *its* shard…
+        let f2 = f.clone();
+        let freed: Vec<usize> = offs.iter().step_by(2).copied().collect();
+        let freed2 = freed.clone();
+        std::thread::spawn(move || {
+            for o in freed2 {
+                f2.free(o);
+            }
+        })
+        .join()
+        .unwrap();
+        // …and this thread can still allocate them all (stealing).
+        let mut got: Vec<usize> = (0..freed.len()).map(|_| f.alloc().unwrap()).collect();
+        got.sort_unstable();
+        let mut want = freed;
+        want.sort_unstable();
+        assert_eq!(got, want);
         assert!(f.alloc().is_none());
     }
 }

@@ -233,6 +233,7 @@ impl ClusterHash {
     ) -> Result<(), InsertError> {
         assert!(value.len() <= self.desc.value_cap, "value exceeds table capacity");
         let entry_off = self.entries.alloc().ok_or(InsertError::Full)?;
+        let mut backoff = drtm_htm::backoff::Backoff::new();
         loop {
             let mut txn = region.begin(exec.config());
             match self.try_insert(&mut txn, key, entry_off, value) {
@@ -268,7 +269,7 @@ impl ClusterHash {
                     return Err(InsertError::Full);
                 }
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 
@@ -393,6 +394,7 @@ impl ClusterHash {
     /// incarnation check, §5.3) and the header slot is freed. Returns
     /// whether the key was present.
     pub fn delete(&self, exec: &Executor, region: &Region, key: u64) -> bool {
+        let mut backoff = drtm_htm::backoff::Backoff::new();
         loop {
             let mut txn = region.begin(exec.config());
             match self.try_delete(&mut txn, key) {
@@ -413,7 +415,7 @@ impl ClusterHash {
                 }
                 Err(a) => exec.stats().record_abort(a),
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 

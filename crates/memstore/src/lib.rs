@@ -39,7 +39,7 @@ mod slot;
 
 pub use alloc::{Arena, FreeList};
 pub use btree::{BTree, BTreeDesc};
-pub use cache::{CacheStats, LocationCache};
+pub use cache::{CacheStats, LocationCache, MutexLocationCache};
 pub use cluster_hash::{
     ClusterHash, ClusterHashDesc, InsertError, LookupResult, PreparedInsert, BUCKET_BYTES,
 };

@@ -4,10 +4,23 @@
 //! shipping INSERT/DELETE to the host machine (§5.1, footnote 5), remote
 //! range queries on ordered stores (§6.5), and the entire Calvin baseline
 //! (over the IPoIB cost profile).
+//!
+//! # Concurrency
+//!
+//! SEND/RECV is the Calvin baseline's entire network path and the
+//! ordered-store RPC path, so queue resolution must not serialize
+//! senders behind a map-wide lock. The endpoint table is preallocated at
+//! cluster construction as a fixed per-node array indexed by queue id:
+//! a node's 2¹⁶ queue-id space is split into 256 slabs of 256 endpoints,
+//! each slab and each endpoint behind a `OnceLock`. Resolving a queue is
+//! two lock-free atomic loads on the hot path (one `get_or_init` fast
+//! path per level); the one-time channel construction is the only
+//! synchronising step, and it synchronises only first users of the same
+//! endpoint, never the whole cluster. Receivers park on the endpoint's
+//! channel (condvar inside the crossbeam stub) rather than spinning.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use drtm_htm::vtime;
@@ -31,31 +44,55 @@ pub struct Message {
     pub recv_cost_ns: u64,
 }
 
-type Endpoint = (NodeId, QueueId);
 type Queue = (Sender<Message>, Receiver<Message>);
+
+/// Endpoints per second-level slab (the low byte of the queue id).
+const SLAB: usize = 256;
+
+/// One lazily-built slab of endpoint queues.
+type Slab = Box<[OnceLock<Queue>]>;
+
+/// One node's receive-queue table: 256 lazily-built slabs of 256
+/// endpoints, covering the full 16-bit queue-id space with no locks.
+struct NodeQueues {
+    slabs: Box<[OnceLock<Slab>]>,
+}
+
+impl NodeQueues {
+    fn new() -> Self {
+        NodeQueues { slabs: (0..SLAB).map(|_| OnceLock::new()).collect() }
+    }
+
+    fn queue(&self, qid: QueueId) -> &Queue {
+        let slab = self.slabs[qid as usize >> 8]
+            .get_or_init(|| (0..SLAB).map(|_| OnceLock::new()).collect());
+        slab[qid as usize & (SLAB - 1)].get_or_init(unbounded)
+    }
+}
 
 /// The set of receive queues of a cluster.
 ///
-/// Queues are created lazily on first use. Senders never block
-/// (unbounded); receivers may block, poll or time out.
-#[derive(Debug)]
+/// The per-node endpoint tables are fixed at construction; senders and
+/// receivers resolve their endpoint lock-free. Senders never block
+/// (unbounded); receivers may park, poll or time out.
 pub struct Verbs {
-    queues: RwLock<HashMap<Endpoint, Queue>>,
-    nodes: usize,
+    nodes: Vec<NodeQueues>,
+}
+
+impl std::fmt::Debug for Verbs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verbs").field("nodes", &self.nodes.len()).finish()
+    }
 }
 
 impl Verbs {
     pub(crate) fn new(nodes: usize) -> Self {
-        Verbs { queues: RwLock::new(HashMap::new()), nodes }
+        Verbs { nodes: (0..nodes).map(|_| NodeQueues::new()).collect() }
     }
 
-    fn queue(&self, ep: Endpoint) -> Queue {
-        assert!((ep.0 as usize) < self.nodes, "verbs endpoint node {} out of range", ep.0);
-        if let Some(q) = self.queues.read().get(&ep) {
-            return q.clone();
-        }
-        let mut w = self.queues.write();
-        w.entry(ep).or_insert_with(unbounded).clone()
+    fn queue(&self, node: NodeId, qid: QueueId) -> &Queue {
+        assert!((node as usize) < self.nodes.len(), "verbs endpoint node {node} out of range");
+        self.nodes[node as usize].queue(qid)
     }
 
     /// Delivers `payload` from `from` to queue `qid` on node `to`.
@@ -75,8 +112,8 @@ impl Verbs {
         payload: Vec<u8>,
         recv_cost_ns: u64,
     ) {
-        let (tx, _) = self.queue((to, qid));
-        // Receiver half is kept alive in the map, so this cannot fail.
+        let (tx, _) = self.queue(to, qid);
+        // Receiver half is kept alive in the table, so this cannot fail.
         tx.send(Message { from, payload, recv_cost_ns }).expect("verbs queue closed");
     }
 
@@ -85,21 +122,22 @@ impl Verbs {
         m
     }
 
-    /// Blocks until a message arrives on queue `qid` of node `node`.
+    /// Parks until a message arrives on queue `qid` of node `node`.
     pub fn recv(&self, node: NodeId, qid: QueueId) -> Message {
-        let (_, rx) = self.queue((node, qid));
+        let (_, rx) = self.queue(node, qid);
         Self::charge_recv(rx.recv().expect("verbs queue closed"))
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self, node: NodeId, qid: QueueId) -> Option<Message> {
-        let (_, rx) = self.queue((node, qid));
+        let (_, rx) = self.queue(node, qid);
         rx.try_recv().ok().map(Self::charge_recv)
     }
 
-    /// Receive with a timeout; `None` on timeout.
+    /// Receive with a timeout; `None` on timeout. Parks on the endpoint
+    /// channel while waiting (no spinning).
     pub fn recv_timeout(&self, node: NodeId, qid: QueueId, timeout: Duration) -> Option<Message> {
-        let (_, rx) = self.queue((node, qid));
+        let (_, rx) = self.queue(node, qid);
         match rx.recv_timeout(timeout) {
             Ok(m) => Some(Self::charge_recv(m)),
             Err(RecvTimeoutError::Timeout) => None,
@@ -109,7 +147,7 @@ impl Verbs {
 
     /// Number of messages currently waiting on a queue.
     pub fn pending(&self, node: NodeId, qid: QueueId) -> usize {
-        let (_, rx) = self.queue((node, qid));
+        let (_, rx) = self.queue(node, qid);
         rx.len()
     }
 }
@@ -182,5 +220,38 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         c.qp(0).send(1, 3, b"late".to_vec());
         assert_eq!(h.join().unwrap(), b"late");
+    }
+
+    #[test]
+    fn extreme_queue_ids_resolve() {
+        // The full 16-bit id space is addressable: conventional RPC ids
+        // live near the top (0xFFEE, 0xFFDD), worker reply queues near
+        // 0x8000.
+        let c = cluster(2);
+        for qid in [0u16, 0x00FF, 0x8000 | (1 << 8) | 3, 0xFFDD, 0xFFEE, u16::MAX] {
+            c.qp(0).send(1, qid, qid.to_le_bytes().to_vec());
+            assert_eq!(c.verbs().recv(1, qid).payload, qid.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn concurrent_senders_one_receiver() {
+        let c = cluster(2);
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..100u8 {
+                        c.qp(0).send(1, 9, vec![t, i]);
+                    }
+                });
+            }
+            let mut got = 0;
+            while got < 400 {
+                c.verbs().recv(1, 9);
+                got += 1;
+            }
+        });
+        assert_eq!(c.verbs().pending(1, 9), 0);
     }
 }

@@ -80,6 +80,7 @@ impl Table {
         if server == worker.node {
             let region = worker.region().clone();
             let table = self.shard(server);
+            let mut backoff = drtm_htm::backoff::Backoff::new();
             loop {
                 let mut txn = region.begin(worker.executor().config());
                 if let Ok(found) = table.get_local(&mut txn, key) {
@@ -89,7 +90,7 @@ impl Table {
                         });
                     }
                 }
-                std::thread::yield_now();
+                backoff.snooze();
             }
         } else {
             let cache = self.cache(worker.node, server);

@@ -123,6 +123,7 @@ pub fn spawn_scan_service(
                 };
                 let (tree_idx, lo, hi, max, reply_q) = decode_req(&msg.payload);
                 let tree = &trees[tree_idx as usize];
+                let mut backoff = drtm_htm::backoff::Backoff::new();
                 let pairs = loop {
                     let mut txn = region.begin(exec.config());
                     if let Ok(p) = tree.scan_range(&mut txn, lo, hi, max as usize) {
@@ -130,7 +131,7 @@ pub fn spawn_scan_service(
                             break p;
                         }
                     }
-                    std::thread::yield_now();
+                    backoff.snooze();
                 };
                 qp.send(msg.from, reply_q, encode_pairs(&pairs));
             }

@@ -477,6 +477,7 @@ impl TpccWorker {
         mut f: impl FnMut(&mut drtm_htm::HtmTxn<'_>) -> Result<T, HtmAbort>,
     ) -> T {
         let region = self.w.region().clone();
+        let mut backoff = drtm_htm::backoff::Backoff::new();
         loop {
             let mut txn = region.begin(self.w.executor().config());
             if let Ok(v) = f(&mut txn) {
@@ -484,7 +485,7 @@ impl TpccWorker {
                     return v;
                 }
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 }

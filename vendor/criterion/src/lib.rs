@@ -117,6 +117,40 @@ impl Bencher {
         }
         self.mean_ns = if iters == 0 { 0.0 } else { total_ns / iters as f64 };
     }
+
+    /// Like [`Bencher::iter`] for routines that time themselves: the
+    /// closure receives an iteration count and returns the measured
+    /// duration of exactly that many iterations (used for multi-threaded
+    /// benchmarks where setup/teardown must not count).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Calibration against the warm-up budget, as in `iter`.
+        let calib_budget = self.warm_up.max(Duration::from_millis(10)) / 10;
+        let mut batch = 1u64;
+        loop {
+            let took = f(batch);
+            if took >= calib_budget || batch >= 1 << 30 {
+                break;
+            }
+            batch = if took.is_zero() {
+                batch * 128
+            } else {
+                (batch as f64 * (calib_budget.as_secs_f64() / took.as_secs_f64()).min(128.0))
+                    .max(batch as f64 + 1.0) as u64
+            };
+        }
+        let per_sample = (batch / self.samples as u64).max(1);
+        let deadline = Instant::now() + self.budget;
+        let mut total_ns = 0.0f64;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            total_ns += f(per_sample).as_nanos() as f64;
+            iters += per_sample;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = if iters == 0 { 0.0 } else { total_ns / iters as f64 };
+    }
 }
 
 /// Declares a benchmark group as a function invoking each target.
@@ -163,5 +197,22 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn iter_custom_measures_self_timed_routines() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(30));
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(1 + 1);
+                }
+                t0.elapsed()
+            });
+        });
     }
 }
