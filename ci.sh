@@ -12,15 +12,21 @@
 # machine-readable BENCH_*.json they emit (schema keys present, numbers
 # finite, throughput positive). See EXPERIMENTS.md for the schema.
 #
+# With --chaos-smoke, additionally runs the deterministic chaos matrix
+# (tests/chaos.rs) at minimum scale and the crash+recovery segment of
+# tab6_durability, validating its emitted JSON (extra.recovery_ms).
+#
 # The build is fully offline: third-party deps resolve to the minimal
 # vendored stubs under vendor/ via [patch.crates-io] in Cargo.toml.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos-smoke) CHAOS_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,10 +43,14 @@ cargo fmt --all -- --check
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+SCRATCH_DIRS=()
+cleanup() { rm -rf "${SCRATCH_DIRS[@]:-}"; }
+trap cleanup EXIT
+
 if [ "$BENCH_SMOKE" = 1 ]; then
   echo "== bench smoke: fig10d + fig12 at minimum scale =="
   SMOKE_OUT="$(mktemp -d)"
-  trap 'rm -rf "$SMOKE_OUT"' EXIT
+  SCRATCH_DIRS+=("$SMOKE_OUT")
   DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p drtm-bench --bench fig10d_cache_size
   DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
@@ -48,6 +58,19 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   echo "== bench smoke: validate emitted JSON =="
   cargo run -q --release -p drtm-bench --bin check_bench_json -- \
     "$SMOKE_OUT"/BENCH_*.json
+fi
+
+if [ "$CHAOS_SMOKE" = 1 ]; then
+  echo "== chaos smoke: crash-point matrix at minimum scale =="
+  DRTM_SCALE=0.01 cargo test -q --test chaos
+  echo "== chaos smoke: tab6 crash+recovery segment =="
+  CHAOS_OUT="$(mktemp -d)"
+  SCRATCH_DIRS+=("$CHAOS_OUT")
+  DRTM_SCALE=0.01 DRTM_BENCH_OUT="$CHAOS_OUT" \
+    cargo bench -q -p drtm-bench --bench tab6_durability
+  echo "== chaos smoke: validate emitted JSON =="
+  cargo run -q --release -p drtm-bench --bin check_bench_json -- \
+    "$CHAOS_OUT"/BENCH_tab6_durability.json
 fi
 
 echo "CI OK"

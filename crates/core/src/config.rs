@@ -18,16 +18,79 @@ pub enum SofttimeStrategy {
 }
 
 /// Simulated crash points for durability tests (§4.6 / Figure 7).
+///
+/// Each variant names one precise step of the commit protocol; the
+/// chaos harness kills a node the instant its worker reaches that step,
+/// either via `DrTmConfig::crash_point` (this worker only, node stays
+/// "alive" to the fabric) or via an armed `FaultPlan` crash site keyed
+/// by [`CrashPoint::name`] (the whole node drops off the fabric).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashPoint {
+    /// Crash right after the lock-ahead log record is persisted, before
+    /// any remote lock CAS went out.
+    AfterLockAhead,
+    /// Crash after every remote write lock (and read lease) is held,
+    /// before the HTM region even starts.
+    AfterRemoteLocks,
     /// Crash after remote locks are taken and the lock-ahead log is
     /// persisted, but before the HTM region commits (Figure 7(a)).
     BeforeHtmCommit,
     /// Crash after `XEND` (write-ahead log persisted) but before any
     /// remote write-back (Figure 7(b)).
     AfterHtmCommit,
-    /// Crash after the first remote write-back WRITE landed.
+    /// Crash after the first remote write-back WRITE landed (between
+    /// remote update `k` and `k + 1`).
     MidWriteBack,
+    /// Crash after every write-back landed but before the write-ahead
+    /// log is reclaimed (`log_done`) — redo must skip every update.
+    AfterWriteBacks,
+    /// Fallback handler: crash after its lock-ahead log is persisted,
+    /// before any 2PL lock is taken.
+    FallbackAfterLockAhead,
+    /// Fallback handler: crash after the write-ahead log is persisted,
+    /// before any update is applied.
+    FallbackAfterWriteAhead,
+}
+
+impl CrashPoint {
+    /// Every crash point, in protocol order (the chaos matrix iterates
+    /// this).
+    pub const ALL: [CrashPoint; 8] = [
+        CrashPoint::AfterLockAhead,
+        CrashPoint::AfterRemoteLocks,
+        CrashPoint::BeforeHtmCommit,
+        CrashPoint::AfterHtmCommit,
+        CrashPoint::MidWriteBack,
+        CrashPoint::AfterWriteBacks,
+        CrashPoint::FallbackAfterLockAhead,
+        CrashPoint::FallbackAfterWriteAhead,
+    ];
+
+    /// Stable site label used to arm a `FaultPlan` crash at this point.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::AfterLockAhead => "after-lock-ahead",
+            CrashPoint::AfterRemoteLocks => "after-remote-locks",
+            CrashPoint::BeforeHtmCommit => "before-htm-commit",
+            CrashPoint::AfterHtmCommit => "after-htm-commit",
+            CrashPoint::MidWriteBack => "mid-write-back",
+            CrashPoint::AfterWriteBacks => "after-write-backs",
+            CrashPoint::FallbackAfterLockAhead => "fallback-after-lock-ahead",
+            CrashPoint::FallbackAfterWriteAhead => "fallback-after-write-ahead",
+        }
+    }
+
+    /// Whether the write-ahead log was persisted before this point:
+    /// recovery must *redo* the transaction (else roll it back).
+    pub fn is_committed(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::AfterHtmCommit
+                | CrashPoint::MidWriteBack
+                | CrashPoint::AfterWriteBacks
+                | CrashPoint::FallbackAfterWriteAhead
+        )
+    }
 }
 
 /// Configuration of a [`crate::DrTm`] instance.
@@ -91,5 +154,17 @@ mod tests {
         assert_eq!(c.softtime, SofttimeStrategy::ReuseStart);
         assert!(!c.logging);
         assert!(c.crash_point.is_none());
+    }
+
+    #[test]
+    fn crash_points_have_distinct_site_names() {
+        let names: std::collections::HashSet<_> =
+            CrashPoint::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), CrashPoint::ALL.len());
+        // Committed points all lie at-or-after the write-ahead log.
+        assert!(!CrashPoint::AfterLockAhead.is_committed());
+        assert!(!CrashPoint::BeforeHtmCommit.is_committed());
+        assert!(CrashPoint::AfterHtmCommit.is_committed());
+        assert!(CrashPoint::AfterWriteBacks.is_committed());
     }
 }

@@ -50,14 +50,26 @@ impl FailureDetector {
     /// A machine is suspected after `timeout` without a heartbeat; the
     /// survivor passed to the callback is the lowest-numbered live
     /// machine (the paper lets Zookeeper pick any survivor).
+    ///
+    /// With fewer than two machines there can never be a survivor to
+    /// drive recovery, so the detector degenerates to a no-op: no
+    /// threads, `kill`/`revive` accepted but never reported.
     pub fn start(
         nodes: usize,
         heartbeat: Duration,
         timeout: Duration,
         on_failure: impl Fn(NodeId, NodeId) + Send + 'static,
     ) -> FailureDetector {
-        assert!(nodes >= 2, "failure detection needs a survivor");
         assert!(timeout > heartbeat, "timeout must exceed the heartbeat period");
+        if nodes < 2 {
+            let inner = Arc::new(FdInner {
+                beats: (0..nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
+                killed: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                reported: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                stop: AtomicBool::new(true),
+            });
+            return FailureDetector { inner, threads: Vec::new() };
+        }
         let now = wall_now_us();
         let inner = Arc::new(FdInner {
             beats: (0..nodes).map(|_| AtomicU64::new(now)).collect(),
@@ -116,21 +128,26 @@ impl FailureDetector {
         FailureDetector { inner, threads }
     }
 
-    /// Simulates a crash: machine `node` stops heartbeating.
+    /// Simulates a crash: machine `node` stops heartbeating. Unknown
+    /// machines are ignored (a no-op detector tracks none).
     pub fn kill(&self, node: NodeId) {
-        self.inner.killed[node as usize].store(true, Ordering::Relaxed);
+        if let Some(k) = self.inner.killed.get(node as usize) {
+            k.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Simulates a restart: heartbeats resume and suspicion clears.
     pub fn revive(&self, node: NodeId) {
-        self.inner.killed[node as usize].store(false, Ordering::Relaxed);
-        self.inner.beats[node as usize].store(wall_now_us(), Ordering::Relaxed);
-        self.inner.reported[node as usize].store(false, Ordering::Relaxed);
+        if (node as usize) < self.inner.killed.len() {
+            self.inner.killed[node as usize].store(false, Ordering::Relaxed);
+            self.inner.beats[node as usize].store(wall_now_us(), Ordering::Relaxed);
+            self.inner.reported[node as usize].store(false, Ordering::Relaxed);
+        }
     }
 
     /// True if `node` has been reported crashed.
     pub fn is_suspected(&self, node: NodeId) -> bool {
-        self.inner.reported[node as usize].load(Ordering::Relaxed)
+        self.inner.reported.get(node as usize).is_some_and(|r| r.load(Ordering::Relaxed))
     }
 }
 
@@ -181,6 +198,29 @@ mod tests {
             },
         );
         assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn single_node_detector_is_a_quiet_noop() {
+        // Regression: this used to panic ("failure detection needs a
+        // survivor"); a 1-node cluster has nobody to recover from, so
+        // the detector must simply never report.
+        let (tx, rx) = mpsc::channel::<(NodeId, NodeId)>();
+        let fd = FailureDetector::start(
+            1,
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        fd.kill(0);
+        fd.kill(7); // out of range: ignored, not a panic
+        assert!(!fd.is_suspected(0));
+        assert!(!fd.is_suspected(7));
+        fd.revive(0);
+        fd.revive(7);
+        assert!(rx.recv_timeout(Duration::from_millis(150)).is_err());
     }
 
     #[test]

@@ -35,11 +35,15 @@ pub use alloc_layout::{LogSlotLayout, NodeLayout};
 pub use config::{CrashPoint, DrTmConfig, SofttimeStrategy};
 pub use drtm_htm::Abort;
 pub use failure::FailureDetector;
-pub use log::{ChopInfo, LogSlot, LoggedUpdate, LOG_EMPTY, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
+pub use log::{
+    recovering_parts, recovering_status, ChopInfo, LogSlot, LoggedUpdate, LOG_EMPTY,
+    LOG_LOCK_AHEAD, LOG_RECOVERING, LOG_WRITE_AHEAD,
+};
 pub use record::{
     local_read, local_write, remote_lock_write, remote_lock_write_via, remote_read,
     remote_read_via, remote_unlock, remote_unlock_via, remote_write_back, remote_write_back_via,
-    FetchedRecord, LockConflict, RecordAddr, ABORT_LEASED, ABORT_LEASE_EXPIRED, ABORT_LOCKED,
+    try_remote_unlock, try_remote_write_back, FetchedRecord, LockConflict, RecordAddr,
+    ABORT_LEASED, ABORT_LEASE_EXPIRED, ABORT_LOCKED,
 };
 pub use recovery::{recover_node, RecoveryReport};
 pub use ro::{RoCtx, RoRestart};

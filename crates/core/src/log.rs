@@ -32,6 +32,26 @@ pub const LOG_EMPTY: u64 = 0;
 pub const LOG_LOCK_AHEAD: u64 = 1;
 /// Slot status: write-ahead log valid (transaction committed).
 pub const LOG_WRITE_AHEAD: u64 = 2;
+/// Slot status low byte: a surviving machine has claimed this slot for
+/// recovery (the full claim word also carries the claimer and the
+/// original status — see [`recovering_status`]).
+pub const LOG_RECOVERING: u64 = 3;
+
+/// Encodes the claim word a recovering survivor CASes into a slot's
+/// status word: `LOG_RECOVERING` in the low byte, the claimer machine in
+/// bits 8..24, and the original status being recovered in bits 24..
+/// Racing survivors CAS this word over the original status; the winner
+/// repairs the slot, losers skip it, so each slot is repaired — and
+/// counted in a [`crate::RecoveryReport`] — exactly once.
+pub fn recovering_status(via: drtm_rdma::NodeId, orig: u64) -> u64 {
+    LOG_RECOVERING | (via as u64) << 8 | orig << 24
+}
+
+/// Decodes a claim word into `(claimer, original status)`; `None` if the
+/// word is not a recovery claim.
+pub fn recovering_parts(word: u64) -> Option<(drtm_rdma::NodeId, u64)> {
+    (word & 0xFF == LOG_RECOVERING).then_some(((word >> 8) as u16, word >> 24))
+}
 
 /// One remote update in a write-ahead log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -353,6 +373,20 @@ mod tests {
         // Piece 0 of kind 0 is still distinguishable from "no info".
         slot.log_chop(&region, ChopInfo { kind: 0, piece: 0, total: 1, arg: 0 });
         assert!(slot.read_chop(&region).is_some());
+    }
+
+    #[test]
+    fn recovery_claim_word_roundtrips() {
+        for via in [0u16, 1, 5, 4095] {
+            for orig in [LOG_LOCK_AHEAD, LOG_WRITE_AHEAD] {
+                let w = recovering_status(via, orig);
+                assert_eq!(w & 0xFF, LOG_RECOVERING);
+                assert_eq!(recovering_parts(w), Some((via, orig)));
+            }
+        }
+        assert_eq!(recovering_parts(LOG_EMPTY), None);
+        assert_eq!(recovering_parts(LOG_LOCK_AHEAD), None);
+        assert_eq!(recovering_parts(LOG_WRITE_AHEAD), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use drtm_htm::{Abort, HtmTxn};
 use drtm_memstore::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
-use drtm_rdma::{GlobalAddr, Qp};
+use drtm_rdma::{FabricError, GlobalAddr, Qp};
 
 use crate::state::{LockState, INIT};
 
@@ -62,6 +62,23 @@ pub enum LockConflict {
     /// The lease is in the ±delta ambiguity window; conservatively
     /// treated as a conflict.
     Ambiguous,
+    /// The record's machine is crashed (or the op timed out): nothing
+    /// was acquired, and retrying is pointless until recovery runs.
+    PeerDead {
+        /// The machine believed dead.
+        node: u16,
+    },
+}
+
+/// Maps a fabric failure to the conflict the Start phase reports.
+/// A timeout is conservatively treated as a dead peer: the failure
+/// detector owns the difference.
+fn conflict_of(e: FabricError) -> LockConflict {
+    match e {
+        FabricError::PeerDead { node } | FabricError::Timeout { node } => {
+            LockConflict::PeerDead { node }
+        }
+    }
 }
 
 /// A remote record fetched during the Start phase.
@@ -85,20 +102,26 @@ impl FetchedRecord {
 /// Issues the state-word CAS either through the NIC (one-sided RDMA) or
 /// the CPU (only sound under `IBV_ATOMIC_GLOB`, §6.3).
 #[inline]
-fn state_cas(qp: &Qp, rec: &RecordAddr, expected: u64, desired: u64, local: bool) -> u64 {
+fn state_cas(
+    qp: &Qp,
+    rec: &RecordAddr,
+    expected: u64,
+    desired: u64,
+    local: bool,
+) -> Result<u64, LockConflict> {
     if local {
-        qp.local_cas_u64(rec.addr.offset, expected, desired)
+        Ok(qp.local_cas_u64(rec.addr.offset, expected, desired))
     } else {
-        qp.cas_u64(rec.addr, expected, desired)
+        qp.try_cas_u64(rec.addr, expected, desired).map_err(conflict_of)
     }
 }
 
-fn fetch_entry(qp: &Qp, rec: &RecordAddr) -> (EntryHeader, Vec<u8>) {
+fn fetch_entry(qp: &Qp, rec: &RecordAddr) -> Result<(EntryHeader, Vec<u8>), LockConflict> {
     let mut buf = vec![0u8; rec.fetch_len()];
-    qp.read(rec.addr, &mut buf);
+    qp.try_read(rec.addr, &mut buf).map_err(conflict_of)?;
     let h = EntryHeader::decode(&buf[..ENTRY_HEADER_BYTES]);
     let len = (h.value_len as usize).min(rec.value_cap);
-    (h, buf[ENTRY_HEADER_BYTES..ENTRY_HEADER_BYTES + len].to_vec())
+    Ok((h, buf[ENTRY_HEADER_BYTES..ENTRY_HEADER_BYTES + len].to_vec()))
 }
 
 /// `REMOTE_READ` (Figure 5): acquire (or share) a read lease ending at
@@ -133,7 +156,7 @@ pub fn remote_read_via(
     let mut expected = INIT;
     let lease_end;
     loop {
-        let old = state_cas(qp, rec, expected, desired, local_cas);
+        let old = state_cas(qp, rec, expected, desired, local_cas)?;
         if old == expected {
             lease_end = end_us;
             break;
@@ -152,7 +175,7 @@ pub fn remote_read_via(
         }
         return Err(LockConflict::Ambiguous);
     }
-    let (header, value) = fetch_entry(qp, rec);
+    let (header, value) = fetch_entry(qp, rec)?;
     Ok(FetchedRecord { header, value, lease_end_us: lease_end })
 }
 
@@ -182,7 +205,7 @@ pub fn remote_lock_write_via(
     let desired = LockState::write_locked(owner).0;
     let mut expected = INIT;
     loop {
-        let old = state_cas(qp, rec, expected, desired, local_cas);
+        let old = state_cas(qp, rec, expected, desired, local_cas)?;
         if old == expected {
             break;
         }
@@ -199,7 +222,7 @@ pub fn remote_lock_write_via(
         }
         return Err(LockConflict::Ambiguous);
     }
-    let (header, value) = fetch_entry(qp, rec);
+    let (header, value) = fetch_entry(qp, rec)?;
     Ok(FetchedRecord { header, value, lease_end_us: 0 })
 }
 
@@ -210,21 +233,45 @@ pub fn remote_lock_write_via(
 /// The value lands *before* the unlock so no reader can observe the new
 /// state word with the old value.
 pub fn remote_write_back(qp: &Qp, rec: &RecordAddr, new_version: u32, value: &[u8]) {
+    try_remote_write_back(qp, rec, new_version, value)
+        .expect("remote write-back against a crashed node");
+}
+
+/// Fallible [`remote_write_back`]: the target may die between WRITEs.
+///
+/// The value lands *before* the version so an interrupted write-back is
+/// always redone by recovery's at-most-once check (a bumped version with
+/// a stale value would be *skipped*, leaving the record torn forever).
+/// Readers cannot observe the intermediate states either way: the record
+/// stays write-locked until the final unlock WRITE.
+pub fn try_remote_write_back(
+    qp: &Qp,
+    rec: &RecordAddr,
+    new_version: u32,
+    value: &[u8],
+) -> Result<(), FabricError> {
     debug_assert!(value.len() <= rec.value_cap, "value exceeds table capacity");
     let a = rec.addr;
-    qp.write(GlobalAddr::new(a.node, a.offset + 12), &new_version.to_le_bytes());
     // Length, padding and value are contiguous: one WRITE covers them.
     let mut buf = Vec::with_capacity(8 + value.len());
     buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
     buf.extend_from_slice(&[0u8; 4]);
     buf.extend_from_slice(value);
-    qp.write(GlobalAddr::new(a.node, a.offset + 24), &buf);
-    qp.write_u64(rec.state_addr(), INIT);
+    qp.try_write(GlobalAddr::new(a.node, a.offset + 24), &buf)?;
+    qp.try_write(GlobalAddr::new(a.node, a.offset + 12), &new_version.to_le_bytes())?;
+    qp.try_write_u64(rec.state_addr(), INIT)
 }
 
 /// Releases an exclusive lock without writing data (the ABORT path).
 pub fn remote_unlock(qp: &Qp, rec: &RecordAddr) {
     qp.write_u64(rec.state_addr(), INIT);
+}
+
+/// Fallible [`remote_unlock`]: releasing a lock *on* a crashed machine
+/// fails, which is fine — the whole machine's lock table dies with it
+/// and `recover_node` sweeps whatever our logs say we held there.
+pub fn try_remote_unlock(qp: &Qp, rec: &RecordAddr) -> Result<(), FabricError> {
+    qp.try_write_u64(rec.state_addr(), INIT)
 }
 
 /// [`remote_unlock`] with an explicit path: a local release is a plain
@@ -452,6 +499,22 @@ mod tests {
         let mut txn = region.begin(&cfg);
         let e = table.get_local(&mut txn, 1).unwrap().unwrap();
         assert_eq!(local_read(&mut txn, e.offset).unwrap().1, b"w");
+    }
+
+    #[test]
+    fn crashed_target_surfaces_peer_dead() {
+        let (cluster, _t, rec) = setup();
+        cluster.faults().kill(0);
+        let qp = cluster.qp(1);
+        let dead = Err(LockConflict::PeerDead { node: 0 });
+        assert_eq!(remote_lock_write(&qp, &rec, 3, 1000, DELTA), dead);
+        assert_eq!(remote_read(&qp, &rec, 5000, 1000, DELTA), dead);
+        assert!(try_remote_unlock(&qp, &rec).is_err());
+        assert!(try_remote_write_back(&qp, &rec, 1, b"x").is_err());
+        // Memory of the corpse is untouched by any of the failures.
+        cluster.faults().revive(0);
+        let r = remote_read(&qp, &rec, 5000, 1000, DELTA).unwrap();
+        assert_eq!(r.value, b"v0");
     }
 
     #[test]

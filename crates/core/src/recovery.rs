@@ -20,9 +20,9 @@
 use drtm_rdma::{Cluster, NodeId};
 
 use crate::alloc_layout::NodeLayout;
-use crate::log::{LogSlot, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
+use crate::log::{self, LogSlot, LOG_LOCK_AHEAD, LOG_WRITE_AHEAD};
 use crate::record::{self, RecordAddr};
-use crate::state::LockState;
+use crate::state::{LockState, INIT};
 
 /// Summary of one recovery pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -45,8 +45,17 @@ pub struct RecoveryReport {
 /// Recovers the cluster after `crashed` failed, driving repairs from
 /// machine `via`. Returns what was done.
 ///
-/// Idempotent: a second pass over the same logs is a no-op, so recovery
-/// itself may crash and be re-run.
+/// Records and log slots on the crashed machine itself are accessed
+/// directly through its (durable, flush-on-failure) region — the paper's
+/// NVRAM model — never through its dead fabric port; records on live
+/// machines are repaired with ordinary one-sided verbs.
+///
+/// Safe to run concurrently from several survivors and to re-run after a
+/// recoverer itself dies: each log slot is *claimed* with a CAS on its
+/// status word ([`log::recovering_status`]) before being repaired, so
+/// exactly one survivor repairs (and reports) each slot. A claim held by
+/// the caller, or by a machine the fault plan marks crashed, is
+/// re-claimable; a claim held by a live peer is skipped.
 pub fn recover_node(
     cluster: &std::sync::Arc<Cluster>,
     crashed: NodeId,
@@ -58,13 +67,36 @@ pub fn recover_node(
     let mut report = RecoveryReport::default();
 
     let release_if_owned = |rec: &RecordAddr, report: &mut RecoveryReport| {
-        let st = LockState(qp.read_u64(rec.addr));
-        if st.is_write_locked() && st.owner() == crashed as u8 {
-            // CAS so a concurrent release cannot be clobbered.
-            if qp.cas_u64(rec.addr, st.0, crate::state::INIT) == st.0 {
+        if rec.addr.node == crashed {
+            let st = LockState(region.read_u64_nt(rec.addr.offset));
+            if st.is_write_locked()
+                && st.owner() == crashed as u8
+                && region.cas_u64_nt(rec.addr.offset, st.0, INIT) == st.0
+            {
+                report.released_locks += 1;
+            }
+        } else {
+            let st = LockState(qp.read_u64(rec.addr));
+            // CAS so a concurrent release cannot be clobbered (and so
+            // racing recoverers count each release exactly once).
+            if st.is_write_locked()
+                && st.owner() == crashed as u8
+                && qp.cas_u64(rec.addr, st.0, INIT) == st.0
+            {
                 report.released_locks += 1;
             }
         }
+    };
+    let read_version = |rec: &RecordAddr| -> u32 {
+        let mut vb = [0u8; 4];
+        if rec.addr.node == crashed {
+            region.read_nt(rec.addr.offset + 12, &mut vb);
+        } else {
+            let mut tmp = vec![0u8; 4];
+            qp.read(drtm_rdma::GlobalAddr::new(rec.addr.node, rec.addr.offset + 12), &mut tmp);
+            vb.copy_from_slice(&tmp);
+        }
+        u32::from_le_bytes(vb)
     };
 
     for slot_layout in &layout.log_slots {
@@ -72,23 +104,40 @@ pub fn recover_node(
         if let Some(info) = slot.read_chop(region) {
             report.pending_pieces.push(info);
         }
-        match slot.read_status(region) {
-            LOG_WRITE_AHEAD => {
+        // Claim the slot before repairing it.
+        let claimed: Option<u64> = loop {
+            let cur = slot.read_status(region);
+            let (expected, orig) = match cur {
+                LOG_LOCK_AHEAD | LOG_WRITE_AHEAD => (cur, cur),
+                w => match log::recovering_parts(w) {
+                    Some((claimer, orig))
+                        if claimer == via || cluster.faults().is_crashed(claimer) =>
+                    {
+                        (w, orig)
+                    }
+                    // A live peer is repairing this slot (or it's empty).
+                    _ => break None,
+                },
+            };
+            let claim = log::recovering_status(via, orig);
+            if region.cas_u64_nt(slot_layout.status_off, expected, claim) == expected {
+                break Some(orig);
+            }
+            // Lost the race; re-read — the winner's claim decides.
+        };
+        match claimed {
+            Some(LOG_WRITE_AHEAD) => {
                 report.redone_txns += 1;
                 for u in slot.read_write_ahead(region) {
-                    let mut vb = [0u8; 4];
-                    let mut tmp = vec![0u8; 4];
-                    qp.read(
-                        drtm_rdma::GlobalAddr::new(u.rec.addr.node, u.rec.addr.offset + 12),
-                        &mut tmp,
-                    );
-                    vb.copy_from_slice(&tmp);
-                    let cur = u32::from_le_bytes(vb);
+                    let cur = read_version(&u.rec);
                     // Versions increase monotonically; wrapping_sub keeps
                     // the comparison valid across u32 wrap.
                     if cur.wrapping_sub(u.version) as i32 >= 0 {
                         report.skipped_updates += 1;
                         release_if_owned(&u.rec, &mut report);
+                    } else if u.rec.addr.node == crashed {
+                        record::remote_write_back_via(&qp, &u.rec, u.version, &u.value, true);
+                        report.redone_updates += 1;
                     } else {
                         record::remote_write_back(&qp, &u.rec, u.version, &u.value);
                         report.redone_updates += 1;
@@ -96,14 +145,16 @@ pub fn recover_node(
                 }
                 slot.log_done(region);
             }
-            LOG_LOCK_AHEAD => {
+            Some(LOG_LOCK_AHEAD) => {
                 report.rolled_back_txns += 1;
                 for rec in slot.read_lock_ahead(region) {
                     release_if_owned(&rec, &mut report);
                 }
                 slot.log_done(region);
             }
-            _ => {}
+            // Unknown original status: just clear the claim.
+            Some(_) => slot.log_done(region),
+            None => {}
         }
     }
     report

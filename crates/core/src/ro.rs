@@ -16,7 +16,8 @@ use drtm_memstore::BTree;
 
 use crate::record::{self, RecordAddr};
 use crate::time::softtime_nt;
-use crate::txn::Worker;
+use crate::txn::{TxnError, Worker};
+use drtm_rdma::NodeId;
 
 /// Internal signal: a record was locked or a lease could not be acquired;
 /// the read-only transaction restarts with a fresh end time.
@@ -33,6 +34,9 @@ pub struct RoCtx<'w> {
     /// Smallest lease end actually covering this attempt (shared leases
     /// may end earlier than `end_us`).
     min_end_us: u64,
+    /// Set when an acquisition failed because the record's machine is
+    /// crashed: retrying is pointless until recovery runs.
+    dead_peer: Option<NodeId>,
 }
 
 impl RoCtx<'_> {
@@ -59,7 +63,12 @@ impl RoCtx<'_> {
                 self.min_end_us = self.min_end_us.min(f.lease_end_us);
                 Ok(f.value)
             }
-            Err(_) => Err(RoRestart),
+            Err(c) => {
+                if let record::LockConflict::PeerDead { node } = c {
+                    self.dead_peer = Some(node);
+                }
+                Err(RoRestart)
+            }
         }
     }
 
@@ -104,12 +113,28 @@ impl Worker {
     /// leases and performs scans; afterwards all leases are confirmed
     /// with one softtime read. Retries with a fresh end time until the
     /// confirmation succeeds.
-    pub fn read_only<T>(
+    ///
+    /// # Panics
+    ///
+    /// If a record's machine is crashed (use [`Worker::try_read_only`]
+    /// under the chaos harness).
+    pub fn read_only<T>(&mut self, body: impl FnMut(&mut RoCtx<'_>) -> Result<T, RoRestart>) -> T {
+        self.try_read_only(body).expect("read-only transaction hit a crashed peer")
+    }
+
+    /// [`Worker::read_only`] with typed dead-peer reporting: instead of
+    /// retrying forever against a record whose machine is gone, the
+    /// transaction aborts with [`TxnError::PeerDead`] and can be retried
+    /// once the node is recovered.
+    pub fn try_read_only<T>(
         &mut self,
         mut body: impl FnMut(&mut RoCtx<'_>) -> Result<T, RoRestart>,
-    ) -> T {
+    ) -> Result<T, TxnError> {
         let region = self.region().clone();
         loop {
+            if self.self_crashed_pub() {
+                return Err(TxnError::SimulatedCrash);
+            }
             let now = softtime_nt(&region);
             let cfg = self.system().config();
             let mut ctx = RoCtx {
@@ -118,6 +143,7 @@ impl Worker {
                 now_us: now,
                 delta_us: cfg.delta_us,
                 min_end_us: u64::MAX,
+                dead_peer: None,
             };
             match body(&mut ctx) {
                 Ok(v) => {
@@ -126,11 +152,15 @@ impl Worker {
                     let delta = self.system().config().delta_us;
                     if min_end == u64::MAX || confirm + delta <= min_end {
                         self.system().stats().add_ro_committed();
-                        return v;
+                        return Ok(v);
                     }
                     self.system().stats().add_ro_retry();
                 }
                 Err(RoRestart) => {
+                    if let Some(node) = ctx.dead_peer {
+                        self.system().stats().add_peer_dead_abort();
+                        return Err(TxnError::PeerDead(node));
+                    }
                     self.system().stats().add_ro_retry();
                     self.ro_backoff();
                 }
@@ -143,8 +173,13 @@ impl Worker {
     /// The lease CASes and fetches are posted together, so the exposed
     /// latency is doorbell-batched like the Start phase.
     pub fn read_only_records(&mut self, recs: &[RecordAddr]) -> Vec<Vec<u8>> {
+        self.try_read_only_records(recs).expect("read-only transaction hit a crashed peer")
+    }
+
+    /// [`Worker::read_only_records`] with typed dead-peer reporting.
+    pub fn try_read_only_records(&mut self, recs: &[RecordAddr]) -> Result<Vec<Vec<u8>>, TxnError> {
         let recs = recs.to_vec();
-        self.read_only(move |ctx| {
+        self.try_read_only(move |ctx| {
             let (out, spent) =
                 drtm_htm::vtime::measure(|| recs.iter().map(|r| ctx.acquire(r)).collect());
             drtm_htm::vtime::doorbell_batch(spent, recs.len());

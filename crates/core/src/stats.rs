@@ -12,6 +12,7 @@ pub struct TxnStats {
     lease_confirm_fails: AtomicU64,
     ro_committed: AtomicU64,
     ro_retries: AtomicU64,
+    peer_dead_aborts: AtomicU64,
 }
 
 /// Point-in-time copy of [`TxnStats`].
@@ -31,6 +32,9 @@ pub struct TxnStatsSnapshot {
     pub ro_committed: u64,
     /// Read-only transaction retries (confirmation failures).
     pub ro_retries: u64,
+    /// Transactions aborted because a peer machine was crashed (or a
+    /// fabric op timed out); retriable only after recovery.
+    pub peer_dead_aborts: u64,
 }
 
 impl TxnStats {
@@ -66,6 +70,10 @@ impl TxnStats {
         self.ro_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_peer_dead_abort(&self) {
+        self.peer_dead_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> TxnStatsSnapshot {
         TxnStatsSnapshot {
@@ -76,6 +84,7 @@ impl TxnStats {
             lease_confirm_fails: self.lease_confirm_fails.load(Ordering::Relaxed),
             ro_committed: self.ro_committed.load(Ordering::Relaxed),
             ro_retries: self.ro_retries.load(Ordering::Relaxed),
+            peer_dead_aborts: self.peer_dead_aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +97,7 @@ impl TxnStats {
         self.lease_confirm_fails.store(0, Ordering::Relaxed);
         self.ro_committed.store(0, Ordering::Relaxed);
         self.ro_retries.store(0, Ordering::Relaxed);
+        self.peer_dead_aborts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -105,6 +115,7 @@ mod tests {
         s.add_lease_confirm_fail();
         s.add_ro_committed();
         s.add_ro_retry();
+        s.add_peer_dead_abort();
         let snap = s.snapshot();
         assert_eq!(snap.committed, 2);
         assert_eq!(snap.fallback_committed, 1);
@@ -113,6 +124,7 @@ mod tests {
         assert_eq!(snap.lease_confirm_fails, 1);
         assert_eq!(snap.ro_committed, 1);
         assert_eq!(snap.ro_retries, 1);
+        assert_eq!(snap.peer_dead_aborts, 1);
         s.reset();
         assert_eq!(s.snapshot(), TxnStatsSnapshot::default());
     }

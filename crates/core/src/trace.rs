@@ -109,10 +109,17 @@ pub enum AbortCause {
     FallbackWait,
     /// The body aborted voluntarily ([`crate::USER_ABORT`]).
     UserAbort,
+    /// A fabric operation hit a crashed machine (or the wait deadline
+    /// expired on state a dead peer will never release): the attempt
+    /// aborts and the worker retries after recovery.
+    PeerDead {
+        /// The machine believed dead.
+        node: u16,
+    },
 }
 
 /// Number of distinct [`AbortCause`] kinds (payloads ignored).
-pub const NUM_CAUSES: usize = 11;
+pub const NUM_CAUSES: usize = 12;
 
 impl AbortCause {
     /// Dense index of the cause kind (payloads ignored), for counters.
@@ -129,6 +136,7 @@ impl AbortCause {
             AbortCause::LeaseConfirmFail => 8,
             AbortCause::FallbackWait => 9,
             AbortCause::UserAbort => 10,
+            AbortCause::PeerDead { .. } => 11,
         }
     }
 
@@ -157,6 +165,7 @@ impl AbortCause {
             LockConflict::WriteLocked { owner } => AbortCause::StartWriteLocked { owner },
             LockConflict::Leased { end_us } => AbortCause::StartLeased { end_us },
             LockConflict::Ambiguous => AbortCause::StartAmbiguous,
+            LockConflict::PeerDead { node } => AbortCause::PeerDead { node },
         }
     }
 }
@@ -174,6 +183,7 @@ pub const CAUSE_NAMES: [&str; NUM_CAUSES] = [
     "lease-confirm-fail",
     "fallback-wait",
     "user-abort",
+    "peer-dead",
 ];
 
 impl fmt::Display for AbortCause {
@@ -184,6 +194,7 @@ impl fmt::Display for AbortCause {
                 write!(f, "start-write-locked(owner={owner})")
             }
             AbortCause::StartLeased { end_us } => write!(f, "start-leased(end={end_us}us)"),
+            AbortCause::PeerDead { node } => write!(f, "peer-dead(n{node})"),
             other => f.write_str(other.kind_name()),
         }
     }
@@ -534,6 +545,7 @@ fn txn_since(a: &TxnStatsSnapshot, b: &TxnStatsSnapshot) -> TxnStatsSnapshot {
         lease_confirm_fails: a.lease_confirm_fails - b.lease_confirm_fails,
         ro_committed: a.ro_committed - b.ro_committed,
         ro_retries: a.ro_retries - b.ro_retries,
+        peer_dead_aborts: a.peer_dead_aborts - b.peer_dead_aborts,
     }
 }
 
@@ -652,6 +664,7 @@ mod tests {
             AbortCause::LeaseConfirmFail,
             AbortCause::FallbackWait,
             AbortCause::UserAbort,
+            AbortCause::PeerDead { node: 4 },
         ];
         for (i, c) in all.iter().enumerate() {
             assert_eq!(c.index(), i, "{c}");

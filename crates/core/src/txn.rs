@@ -29,7 +29,7 @@ use std::sync::Arc;
 use drtm_htm::HtmConfig;
 use drtm_htm::{vtime, Abort, Executor, HtmStats, HtmTxn, Region};
 use drtm_memstore::{BTree, ClusterHash, InsertError, PreparedInsert};
-use drtm_rdma::{AtomicityLevel, Cluster, NodeId, Qp};
+use drtm_rdma::{AtomicityLevel, Cluster, FabricError, FaultPlan, NodeId, Qp};
 
 use crate::alloc_layout::NodeLayout;
 use crate::config::{CrashPoint, DrTmConfig, SofttimeStrategy};
@@ -52,8 +52,30 @@ pub const USER_ABORT: u8 = 0x7F;
 pub enum TxnError {
     /// The body issued `Abort::Explicit(USER_ABORT)`.
     UserAborted,
-    /// The configured [`CrashPoint`] fired (durability tests only).
+    /// The configured [`CrashPoint`] fired (durability tests only), or
+    /// this worker's own machine is marked crashed by the fault plan:
+    /// the worker stopped dead, leaving locks and logs for recovery.
     SimulatedCrash,
+    /// A fabric operation hit the crashed machine: the transaction
+    /// aborted cleanly (every releasable lock released, undeliverable
+    /// releases parked for [`Worker::flush_pending`]) and can be
+    /// retried once the `FailureDetector` → `recover_node` cycle runs.
+    PeerDead(NodeId),
+}
+
+/// Wall-clock grace the fallback handler grants a conflicting lock
+/// holder before concluding the holder is dead (backstop for crashes
+/// the fault plan does not know about). Generous against µs–ms lock
+/// hold times, so expiry in practice always means a real wedge.
+const DEAD_PEER_GRACE: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// A write-back or unlock whose target machine was dead when the commit
+/// protocol tried to deliver it; drained by [`Worker::flush_pending`].
+#[derive(Debug, Clone)]
+struct PendingOp {
+    rec: RecordAddr,
+    /// `Some((version, value))` = write-back; `None` = plain unlock.
+    update: Option<(u32, Vec<u8>)>,
 }
 
 /// The declared access sets of one transaction, already resolved to
@@ -99,6 +121,12 @@ impl DrTm {
     /// The simulated cluster.
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// Machine `node`'s region layout (recovery needs the crashed
+    /// machine's log-slot geometry).
+    pub fn layout(&self, node: NodeId) -> &NodeLayout {
+        &self.layouts[node as usize]
     }
 
     /// The configuration.
@@ -154,6 +182,7 @@ impl DrTm {
             worker_id,
             rng: 0x9E37_79B9u64.wrapping_mul(node as u64 + 1).wrapping_add(worker_id as u64),
             crash_point: self.cfg.crash_point,
+            pending: Vec::new(),
         }
     }
 }
@@ -173,6 +202,9 @@ pub struct Worker {
     txn_seq: u64,
     rng: u64,
     crash_point: Option<CrashPoint>,
+    /// Write-backs/unlocks whose target died mid-commit; drained by
+    /// [`Worker::flush_pending`] once the peer is recovered.
+    pending: Vec<PendingOp>,
 }
 
 enum HtmAttempt<T> {
@@ -255,15 +287,105 @@ impl Worker {
         );
     }
 
-    /// Releases every remote write lock (abort cleanup), charging the
-    /// unlock WRITEs to the Commit phase's breakdown.
-    fn unlock_writes_traced(&self, spec: &TxnSpec) {
-        let ((), spent) = vtime::measure(|| {
-            for rec in &spec.remote_writes {
-                record::remote_unlock(&self.qp, rec);
+    /// The cluster's fault plan (chaos-harness hooks).
+    fn faults(&self) -> &FaultPlan {
+        self.sys.cluster.faults()
+    }
+
+    /// Whether this worker's own machine is marked crashed: the worker
+    /// must stop dead — no cleanup, no log writes — leaving its locks
+    /// and log records exactly as a real crash would.
+    fn self_crashed(&self) -> bool {
+        self.faults().is_crashed(self.node)
+    }
+
+    /// Whether the simulated crash fires at protocol step `p`: either
+    /// this worker's own [`CrashPoint`] (worker-local, node stays on the
+    /// fabric) or an armed fault-plan crash site (whole node drops).
+    fn crashes_at(&self, p: CrashPoint) -> bool {
+        self.crash_point == Some(p) || self.faults().crash_hook(self.node, p.name())
+    }
+
+    /// Releases one remote write lock; if the target machine is dead the
+    /// release is parked for [`Worker::flush_pending`] so the lock is
+    /// still released exactly once when the peer comes back. (If *this*
+    /// machine is the dead one, nothing is parked: sweeping its locks is
+    /// the recovery protocol's job.)
+    fn unlock_or_park(&mut self, rec: &RecordAddr) {
+        if record::try_remote_unlock(&self.qp, rec).is_err() && !self.self_crashed() {
+            self.pending.push(PendingOp { rec: *rec, update: None });
+        }
+    }
+
+    /// Fallback-path lock release: CPU store for CPU-lockable records,
+    /// park-on-dead-peer loopback/remote WRITE otherwise.
+    fn release_fallback_lock(&mut self, rec: &RecordAddr) {
+        if self.can_local_cas(rec) {
+            record::remote_unlock_via(&self.qp, rec, true);
+        } else {
+            self.unlock_or_park(rec);
+        }
+    }
+
+    /// Whether this worker still holds undelivered write-backs/unlocks
+    /// for a dead peer ([`Worker::execute`] refuses new transactions
+    /// until [`Worker::flush_pending`] drains them).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Re-delivers write-backs and unlocks that were parked when their
+    /// target machine died mid-commit. Call after the failed node is
+    /// recovered (or revived): on success the worker's write-ahead log
+    /// is reclaimed and new transactions may run; on `PeerDead` the
+    /// still-undeliverable ops stay parked for the next attempt.
+    pub fn flush_pending(&mut self) -> Result<(), TxnError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let ops = std::mem::take(&mut self.pending);
+        let mut still_dead: Option<NodeId> = None;
+        let mut parked_again = Vec::new();
+        for op in ops {
+            let r = match &op.update {
+                Some((version, value)) => {
+                    record::try_remote_write_back(&self.qp, &op.rec, *version, value)
+                }
+                None => record::try_remote_unlock(&self.qp, &op.rec),
+            };
+            if let Err(e) = r {
+                let (FabricError::PeerDead { node } | FabricError::Timeout { node }) = e;
+                still_dead.get_or_insert(node);
+                parked_again.push(op);
             }
-        });
-        self.sys.trace.phases.add(Phase::Commit, spent, spec.remote_writes.len() as u64);
+        }
+        self.pending = parked_again;
+        match still_dead {
+            None => {
+                // Every parked op landed: the write-ahead log (if any)
+                // no longer needs replaying.
+                if self.sys.cfg.logging {
+                    self.log.log_done(&self.region().clone());
+                }
+                Ok(())
+            }
+            Some(node) => Err(TxnError::PeerDead(node)),
+        }
+    }
+
+    /// Releases every remote write lock (abort cleanup), charging the
+    /// unlock WRITEs to the Commit phase's breakdown. Releases against a
+    /// dead peer are parked, not lost.
+    fn unlock_writes_traced(&mut self, spec: &TxnSpec) {
+        let t0 = vtime::read();
+        for rec in &spec.remote_writes {
+            self.unlock_or_park(rec);
+        }
+        self.sys.trace.phases.add(
+            Phase::Commit,
+            vtime::read().saturating_sub(t0),
+            spec.remote_writes.len() as u64,
+        );
     }
 
     fn backoff(&mut self, attempt: u32) {
@@ -298,6 +420,10 @@ impl Worker {
 
     pub(crate) fn backoff_pub(&mut self, attempt: u32) {
         self.backoff(attempt);
+    }
+
+    pub(crate) fn self_crashed_pub(&self) -> bool {
+        self.self_crashed()
     }
 
     /// True when this record can be locked with a CPU CAS instead of a
@@ -338,9 +464,18 @@ impl Worker {
         );
         let region = self.region().clone();
         let logging = self.sys.cfg.logging;
+        // The log slot still carries the previous transaction's
+        // write-ahead record while write-backs to a dead peer are
+        // parked; it must be drained before the slot can be reused.
+        if !self.pending.is_empty() {
+            self.flush_pending()?;
+        }
         let txn_id = self.next_txn_id();
         let mut start_attempts = 0u32;
         loop {
+            if self.self_crashed() {
+                return Err(TxnError::SimulatedCrash);
+            }
             if start_attempts > self.sys.cfg.start_retries {
                 return self.fallback_execute(txn_id, spec, &mut body);
             }
@@ -352,8 +487,12 @@ impl Worker {
             if logging && !spec.remote_writes.is_empty() {
                 self.log.log_lock_ahead(&region, &spec.remote_writes);
             }
+            if self.crashes_at(CrashPoint::AfterLockAhead) {
+                return Err(TxnError::SimulatedCrash);
+            }
             let mut w_fetched: Vec<FetchedRecord> = Vec::with_capacity(spec.remote_writes.len());
             let mut ok = true;
+            let mut dead_peer: Option<NodeId> = None;
             for rec in &spec.remote_writes {
                 start_ops += 1;
                 match record::remote_lock_write(
@@ -365,6 +504,9 @@ impl Worker {
                 ) {
                     Ok(f) => w_fetched.push(f),
                     Err(c) => {
+                        if let record::LockConflict::PeerDead { node } = c {
+                            dead_peer = Some(node);
+                        }
                         self.trace_abort(
                             txn_id,
                             Phase::Start,
@@ -383,6 +525,9 @@ impl Worker {
                     match record::remote_read(&self.qp, rec, end, now, self.sys.cfg.delta_us) {
                         Ok(f) => r_fetched.push(f),
                         Err(c) => {
+                            if let record::LockConflict::PeerDead { node } = c {
+                                dead_peer = Some(node);
+                            }
                             self.trace_abort(
                                 txn_id,
                                 Phase::Start,
@@ -396,8 +541,13 @@ impl Worker {
                 }
             }
             if !ok {
-                for (rec, _) in spec.remote_writes.iter().zip(&w_fetched) {
-                    record::remote_unlock(&self.qp, rec);
+                if self.self_crashed() {
+                    // Our own machine died: stop dead, leave everything.
+                    return Err(TxnError::SimulatedCrash);
+                }
+                let acquired = w_fetched.len();
+                for rec in spec.remote_writes.iter().take(acquired) {
+                    self.unlock_or_park(rec);
                     start_ops += 1;
                 }
                 self.sys.trace.phases.add(
@@ -406,6 +556,12 @@ impl Worker {
                     start_ops,
                 );
                 self.sys.stats.add_start_conflict();
+                if let Some(node) = dead_peer {
+                    // A peer machine is gone: retrying cannot help until
+                    // it is recovered — surface a typed abort instead.
+                    self.sys.stats.add_peer_dead_abort();
+                    return Err(TxnError::PeerDead(node));
+                }
                 start_attempts += 1;
                 self.backoff(start_attempts);
                 continue;
@@ -415,6 +571,9 @@ impl Worker {
                 vtime::read().saturating_sub(start_t0),
                 start_ops,
             );
+            if self.crashes_at(CrashPoint::AfterRemoteLocks) {
+                return Err(TxnError::SimulatedCrash);
+            }
 
             // ---------------- LocalTX + Commit ----------------
             let mut attempts = 0u32;
@@ -570,7 +729,7 @@ impl Worker {
                 return HtmAttempt::Retry;
             }
         }
-        if self.crash_point == Some(CrashPoint::BeforeHtmCommit) {
+        if self.crashes_at(CrashPoint::BeforeHtmCommit) {
             undo(allocs);
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
@@ -584,38 +743,51 @@ impl Worker {
             }
         }
         self.sys.htm_stats().record_commit();
-        if self.crash_point == Some(CrashPoint::AfterHtmCommit) {
+        if self.crashes_at(CrashPoint::AfterHtmCommit) {
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
         // Write-backs + unlocks (posted together, doorbell-batched).
-        let mut first = true;
+        // Past XEND the transaction IS committed: a dead peer can no
+        // longer abort it, so undeliverable ops are parked for
+        // `flush_pending` and the write-ahead log is kept for redo.
         let mut crash_mid = false;
-        let ((), spent) = vtime::measure(|| {
-            for ((rec, f), buf) in spec.remote_writes.iter().zip(w_fetched).zip(&w_buf) {
-                match buf {
-                    Some(value) => {
-                        record::remote_write_back(
-                            &self.qp,
-                            rec,
-                            f.header.version.wrapping_add(1),
-                            value,
-                        );
-                    }
-                    None => record::remote_unlock(&self.qp, rec),
+        let mut parked = false;
+        let wb_t0 = vtime::read();
+        for ((rec, f), buf) in spec.remote_writes.iter().zip(w_fetched).zip(&w_buf) {
+            let new_version = f.header.version.wrapping_add(1);
+            let r = match buf {
+                Some(value) => record::try_remote_write_back(&self.qp, rec, new_version, value),
+                None => record::try_remote_unlock(&self.qp, rec),
+            };
+            if r.is_err() {
+                if self.self_crashed() {
+                    // Our own machine died mid-write-back: stop dead.
+                    return HtmAttempt::Terminal(TxnError::SimulatedCrash);
                 }
-                if first && self.crash_point == Some(CrashPoint::MidWriteBack) {
-                    crash_mid = true;
-                    return;
-                }
-                first = false;
+                parked = true;
+                self.pending.push(PendingOp {
+                    rec: *rec,
+                    update: buf.as_ref().map(|v| (new_version, v.clone())),
+                });
+                continue;
             }
-        });
+            if self.crashes_at(CrashPoint::MidWriteBack) {
+                crash_mid = true;
+                break;
+            }
+        }
+        let spent = vtime::read().saturating_sub(wb_t0);
         vtime::doorbell_batch(spent, spec.remote_writes.len());
         commit_t.ops += spec.remote_writes.len() as u64;
         if crash_mid {
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
-        if self.sys.cfg.logging {
+        if self.crashes_at(CrashPoint::AfterWriteBacks) {
+            // Crash before the write-ahead log is reclaimed: recovery
+            // must replay the log and skip every already-applied update.
+            return HtmAttempt::Terminal(TxnError::SimulatedCrash);
+        }
+        if self.sys.cfg.logging && !parked {
             self.log.log_done(region);
         }
         self.sys.stats.add_committed(false);
@@ -631,6 +803,9 @@ impl Worker {
         body: &mut impl FnMut(&mut TxnCtx<'_>) -> Result<T, Abort>,
     ) -> Result<T, TxnError> {
         self.sys.htm_stats().record_fallback();
+        if self.self_crashed() {
+            return Err(TxnError::SimulatedCrash);
+        }
         let region = self.region().clone();
         let cfg = self.sys.cfg.clone();
         // Whole-handler virtual time and record ops land in the
@@ -662,15 +837,26 @@ impl Worker {
         items.sort_by_key(|it| (it.rec.addr.node, it.rec.addr.offset));
 
         'retry: loop {
+            if self.self_crashed() {
+                return Err(TxnError::SimulatedCrash);
+            }
             let now = softtime_nt(&region);
             let end = now + cfg.lease_us;
             if cfg.logging && !spec.remote_writes.is_empty() {
                 self.log.log_lock_ahead(&region, &spec.remote_writes);
             }
-            // Acquire in global order, waiting on conflicts.
+            if self.crashes_at(CrashPoint::FallbackAfterLockAhead) {
+                return Err(TxnError::SimulatedCrash);
+            }
+            // Acquire in global order, waiting on conflicts — but only
+            // as long as the conflicting holder is believed alive: a
+            // lock held by a crashed machine is released by recovery,
+            // not by waiting, so a dead owner (or an expired grace
+            // deadline) turns the wait into a typed abort.
             let mut fetched: Vec<FetchedRecord> = Vec::with_capacity(items.len());
             for it in &items {
                 let use_local = self.can_local_cas(&it.rec);
+                let wait = drtm_htm::backoff::Backoff::with_deadline(DEAD_PEER_GRACE);
                 let f = loop {
                     let now2 = softtime_nt(&region);
                     let r = if it.write {
@@ -695,7 +881,39 @@ impl Worker {
                     fb_ops += 1;
                     match r {
                         Ok(f) => break f,
-                        Err(_) => {
+                        Err(c) => {
+                            let dead = match c {
+                                record::LockConflict::PeerDead { node } => Some(node),
+                                record::LockConflict::WriteLocked { owner }
+                                    if self.faults().is_crashed(owner as NodeId) =>
+                                {
+                                    Some(owner as NodeId)
+                                }
+                                _ if wait.expired() => Some(it.rec.addr.node),
+                                _ => None,
+                            };
+                            if let Some(node) = dead {
+                                if self.self_crashed() {
+                                    return Err(TxnError::SimulatedCrash);
+                                }
+                                for held in items.iter().take(fetched.len()).filter(|h| h.write) {
+                                    self.release_fallback_lock(&held.rec);
+                                    fb_ops += 1;
+                                }
+                                self.trace_abort(
+                                    txn_id,
+                                    Phase::Fallback,
+                                    AbortCause::PeerDead { node },
+                                    Some(&it.rec),
+                                );
+                                self.sys.stats.add_peer_dead_abort();
+                                self.sys.trace.phases.add(
+                                    Phase::Fallback,
+                                    vtime::read().saturating_sub(fb_t0),
+                                    fb_ops,
+                                );
+                                return Err(TxnError::PeerDead(node));
+                            }
                             self.trace_abort(
                                 txn_id,
                                 Phase::Fallback,
@@ -718,7 +936,7 @@ impl Worker {
                 .all(|(_, f)| confirm + cfg.delta_us <= f.lease_end_us);
             if !leases_ok {
                 for it in items.iter().filter(|it| it.write) {
-                    record::remote_unlock_via(&self.qp, &it.rec, self.can_local_cas(&it.rec));
+                    self.release_fallback_lock(&it.rec);
                     fb_ops += 1;
                 }
                 self.trace_abort(txn_id, Phase::Fallback, AbortCause::LeaseConfirmFail, None);
@@ -760,7 +978,7 @@ impl Worker {
             match body(&mut ctx) {
                 Err(Abort::Explicit(USER_ABORT)) => {
                     for it in items.iter().filter(|it| it.write) {
-                        record::remote_unlock_via(&self.qp, &it.rec, self.can_local_cas(&it.rec));
+                        self.release_fallback_lock(&it.rec);
                         fb_ops += 1;
                     }
                     self.trace_abort(txn_id, Phase::Fallback, AbortCause::UserAbort, None);
@@ -798,6 +1016,9 @@ impl Worker {
                             .collect();
                         self.log.log_write_ahead_nt(&region, &updates);
                     }
+                    if self.crashes_at(CrashPoint::FallbackAfterWriteAhead) {
+                        return Err(TxnError::SimulatedCrash);
+                    }
                     // Apply local writes and unlock them.
                     for ((rec, f), buf) in
                         spec.local_writes.iter().zip(&out.l_fetched_writes).zip(&out.l_buf)
@@ -814,20 +1035,29 @@ impl Worker {
                             None => record::remote_unlock_via(&self.qp, rec, use_local),
                         }
                     }
-                    // Apply remote write-backs and unlock.
+                    // Apply remote write-backs and unlock. Past the
+                    // write-ahead log the transaction is committed, so a
+                    // dead target parks the update for `flush_pending`.
+                    let mut parked = false;
                     for ((rec, f), buf) in spec.remote_writes.iter().zip(&w_fetched).zip(&out.w_buf)
                     {
-                        match buf {
-                            Some(v) => record::remote_write_back(
-                                &self.qp,
-                                rec,
-                                f.header.version.wrapping_add(1),
-                                v,
-                            ),
-                            None => record::remote_unlock(&self.qp, rec),
+                        let new_version = f.header.version.wrapping_add(1);
+                        let r = match buf {
+                            Some(v) => record::try_remote_write_back(&self.qp, rec, new_version, v),
+                            None => record::try_remote_unlock(&self.qp, rec),
+                        };
+                        if r.is_err() {
+                            if self.self_crashed() {
+                                return Err(TxnError::SimulatedCrash);
+                            }
+                            parked = true;
+                            self.pending.push(PendingOp {
+                                rec: *rec,
+                                update: buf.as_ref().map(|v| (new_version, v.clone())),
+                            });
                         }
                     }
-                    if cfg.logging {
+                    if cfg.logging && !parked {
                         self.log.log_done(&region);
                     }
                     fb_ops += (spec.local_writes.len() + spec.remote_writes.len()) as u64;

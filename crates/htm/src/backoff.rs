@@ -9,11 +9,19 @@
 //! oversubscription-hygiene rule of DESIGN.md §4 while decorrelating
 //! retry timing between symmetric contenders.
 
+use std::time::{Duration, Instant};
+
 /// Exponential spin-then-yield backoff. Create one per retry loop and
 /// call [`Backoff::snooze`] after each failed attempt.
+///
+/// A loop that may be waiting on a *dead* peer should construct with
+/// [`Backoff::with_deadline`] and check [`Backoff::expired`] each
+/// iteration: past the deadline the loop must turn the wait into an
+/// abort instead of spinning forever on state nobody will ever release.
 #[derive(Debug, Default)]
 pub struct Backoff {
     attempt: u32,
+    deadline: Option<Instant>,
 }
 
 /// Spins double each retry until `1 << MAX_SHIFT` iterations (the
@@ -28,6 +36,20 @@ impl Backoff {
     /// A fresh backoff (first snooze is the shortest).
     pub fn new() -> Self {
         Backoff::default()
+    }
+
+    /// A backoff with an escape hatch: [`Backoff::expired`] turns true
+    /// once `budget` of host wall-clock has elapsed. The deadline does
+    /// not change how long [`Backoff::snooze`] waits — it only gives
+    /// the surrounding loop a bounded reason to give up.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Backoff { attempt: 0, deadline: Some(Instant::now() + budget) }
+    }
+
+    /// Whether the deadline (if any) has passed. Always `false` for a
+    /// deadline-less backoff.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Number of failed attempts so far.
@@ -51,7 +73,8 @@ impl Backoff {
     }
 
     /// Resets to the shortest wait (call after a successful attempt in
-    /// long-lived loops).
+    /// long-lived loops). Keeps the deadline: progress resets the spin
+    /// curve, not the loop's overall time budget.
     pub fn reset(&mut self) {
         self.attempt = 0;
     }
@@ -74,5 +97,22 @@ mod tests {
         assert!(t0.elapsed() < std::time::Duration::from_millis(100));
         b.reset();
         assert_eq!(b.attempts(), 0);
+    }
+
+    #[test]
+    fn deadline_expires_and_survives_reset() {
+        let mut b = Backoff::with_deadline(Duration::from_millis(5));
+        assert!(!Backoff::new().expired(), "deadline-less backoff never expires");
+        while !b.expired() {
+            b.snooze();
+        }
+        b.reset();
+        assert!(b.expired(), "reset must not extend the time budget");
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire_early() {
+        let b = Backoff::with_deadline(Duration::from_secs(3600));
+        assert!(!b.expired());
     }
 }

@@ -39,7 +39,7 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use drtm_rdma::{GlobalAddr, Qp};
+use drtm_rdma::{FabricError, GlobalAddr, Qp};
 
 use crate::cluster_hash::{ClusterHash, ScanHit, BUCKET_BYTES};
 use crate::slot::{Slot, SlotType};
@@ -286,12 +286,30 @@ impl LocationCache {
     ///
     /// The hit path takes no lock: it reads the cached chain through
     /// per-bucket seqlocks and retries torn reads.
+    ///
+    /// # Panics
+    ///
+    /// If the table's machine is crashed (use
+    /// [`LocationCache::try_lookup`] under the chaos harness).
     pub fn lookup(
         &self,
         qp: &Qp,
         table: &ClusterHash,
         key: u64,
     ) -> Option<(GlobalAddr, Slot, u32)> {
+        self.try_lookup(qp, table, key).expect("cached lookup against a crashed node")
+    }
+
+    /// [`LocationCache::lookup`] with typed dead-peer reporting: a full
+    /// cache hit still succeeds (no fabric round trip), but a walk that
+    /// must fetch from a crashed machine returns the fabric error
+    /// instead of panicking or serving stale bytes.
+    pub fn try_lookup(
+        &self,
+        qp: &Qp,
+        table: &ClusterHash,
+        key: u64,
+    ) -> Result<Option<(GlobalAddr, Slot, u32)>, FabricError> {
         let desc = table.desc();
         let idx = desc.bucket_index(key);
         let way = idx & self.main_mask;
@@ -299,18 +317,18 @@ impl LocationCache {
         match self.fast_walk(way, idx, key, desc.node) {
             FastPath::Found(addr, slot) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some((addr, slot, 0))
+                Ok(Some((addr, slot, 0)))
             }
             FastPath::NotFound => {
                 // A cached NotFound may be stale (an insert since the
                 // snapshot); drop the chain and verify remotely.
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 self.evict_way(way);
-                match table.remote_lookup(qp, key) {
+                match table.try_remote_lookup(qp, key)? {
                     crate::cluster_hash::LookupResult::Found { addr, slot, reads } => {
-                        Some((addr, slot, reads))
+                        Ok(Some((addr, slot, reads)))
                     }
-                    crate::cluster_hash::LookupResult::NotFound { .. } => None,
+                    crate::cluster_hash::LookupResult::NotFound { .. } => Ok(None),
                 }
             }
             FastPath::Fetch => self.lookup_locked(qp, table, key, idx, way),
@@ -365,7 +383,7 @@ impl LocationCache {
         key: u64,
         idx: usize,
         way: usize,
-    ) -> Option<(GlobalAddr, Slot, u32)> {
+    ) -> Result<Option<(GlobalAddr, Slot, u32)>, FabricError> {
         let desc = table.desc();
         let mut pool_free = self.shard(way).lock();
         let mut reads = 0u32;
@@ -375,7 +393,7 @@ impl LocationCache {
         if !(main_img.valid && main_img.tag == idx) {
             let off = desc.main_bucket_off(idx);
             let mut buf = [0u8; BUCKET_BYTES];
-            qp.read(GlobalAddr::new(desc.node, off), &mut buf);
+            qp.try_read(GlobalAddr::new(desc.node, off), &mut buf)?;
             reads += 1;
             self.stats.fetches.fetch_add(1, Ordering::Relaxed);
             self.reclaim_chain(&mut pool_free, &main_img);
@@ -419,7 +437,7 @@ impl LocationCache {
                     // Fetch the indirect bucket and try to cache it.
                     let off = link.offset as usize;
                     let mut buf = [0u8; BUCKET_BYTES];
-                    qp.read(GlobalAddr::new(desc.node, off), &mut buf);
+                    qp.try_read(GlobalAddr::new(desc.node, off), &mut buf)?;
                     reads += 1;
                     self.stats.fetches.fetch_add(1, Ordering::Relaxed);
                     match pool_free.pop() {
@@ -466,7 +484,7 @@ impl LocationCache {
         match found {
             Some((addr, slot)) => {
                 drop(pool_free);
-                Some((addr, slot, reads))
+                Ok(Some((addr, slot, reads)))
             }
             None => {
                 // A cached NotFound may be stale (an insert since the
@@ -474,11 +492,11 @@ impl LocationCache {
                 let img = self.main[way].snapshot().expect("shard lock excludes writers");
                 self.reclaim_chain(&mut pool_free, &img);
                 drop(pool_free);
-                match table.remote_lookup(qp, key) {
+                match table.try_remote_lookup(qp, key)? {
                     crate::cluster_hash::LookupResult::Found { addr, slot, reads: r } => {
-                        Some((addr, slot, reads + r))
+                        Ok(Some((addr, slot, reads + r)))
                     }
-                    crate::cluster_hash::LookupResult::NotFound { .. } => None,
+                    crate::cluster_hash::LookupResult::NotFound { .. } => Ok(None),
                 }
             }
         }
@@ -492,22 +510,26 @@ impl LocationCache {
         key: u64,
         first: &[u8; BUCKET_BYTES],
         mut reads: u32,
-    ) -> Option<(GlobalAddr, Slot, u32)> {
+    ) -> Result<Option<(GlobalAddr, Slot, u32)>, FabricError> {
         let desc = table.desc();
         let mut buf = *first;
         loop {
             match ClusterHash::scan_bucket(&buf, key) {
                 ScanHit::Entry(slot) => {
                     self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                    return Some((GlobalAddr::new(desc.node, slot.offset as usize), slot, reads));
+                    return Ok(Some((
+                        GlobalAddr::new(desc.node, slot.offset as usize),
+                        slot,
+                        reads,
+                    )));
                 }
                 ScanHit::Chain(next) => {
-                    qp.read(GlobalAddr::new(desc.node, next), &mut buf);
+                    qp.try_read(GlobalAddr::new(desc.node, next), &mut buf)?;
                     reads += 1;
                 }
                 ScanHit::Miss => {
                     self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                    return None;
+                    return Ok(None);
                 }
             }
         }
@@ -797,6 +819,26 @@ mod tests {
         assert_eq!(r2, 0, "warm lookup is free");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.fetches), (1, 1, 1));
+    }
+
+    #[test]
+    fn crashed_home_node_fails_typed_but_hits_still_serve() {
+        let (cluster, table, exec) = setup(64);
+        let region = cluster.node(0).region();
+        table.insert(&exec, region, 1, b"v").unwrap();
+        table.insert(&exec, region, 2, b"w").unwrap();
+        let qp = cluster.qp(1);
+        let cache = LocationCache::new(64, 16);
+        cache.lookup(&qp, &table, 1).unwrap(); // warm key 1
+        cluster.faults().kill(0);
+        // A warm hit needs no fabric round trip — still served.
+        let hit = cache.try_lookup(&qp, &table, 1).expect("cache hit needs no fabric");
+        assert_eq!(hit.unwrap().2, 0);
+        // A cold key must fetch from the dead home node: typed error.
+        assert_eq!(cache.try_lookup(&qp, &table, 2), Err(FabricError::PeerDead { node: 0 }));
+        assert_eq!(table.try_remote_lookup(&qp, 2), Err(FabricError::PeerDead { node: 0 }));
+        cluster.faults().revive(0);
+        assert!(cache.try_lookup(&qp, &table, 2).unwrap().is_some());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! writes are one-sided READ/WRITE of the entry.
 
 use drtm_htm::{Abort, Executor, HtmTxn, Region};
-use drtm_rdma::{GlobalAddr, NodeId, Qp};
+use drtm_rdma::{FabricError, GlobalAddr, NodeId, Qp};
 
 use crate::alloc::{Arena, FreeList};
 use crate::entry::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
@@ -447,23 +447,34 @@ impl ClusterHash {
     }
 
     /// Remote lookup of `key` by one-sided RDMA READs of whole buckets.
+    ///
+    /// # Panics
+    ///
+    /// If the table's machine is crashed (use
+    /// [`ClusterHash::try_remote_lookup`] under the chaos harness).
     pub fn remote_lookup(&self, qp: &Qp, key: u64) -> LookupResult {
+        self.try_remote_lookup(qp, key).expect("remote lookup against a crashed node")
+    }
+
+    /// [`ClusterHash::remote_lookup`] with typed dead-peer reporting
+    /// instead of a panic or a stale read.
+    pub fn try_remote_lookup(&self, qp: &Qp, key: u64) -> Result<LookupResult, FabricError> {
         let mut bucket = self.desc.main_bucket_off(self.desc.bucket_index(key));
         let mut reads = 0u32;
         let mut buf = [0u8; BUCKET_BYTES];
         loop {
-            qp.read(GlobalAddr::new(self.desc.node, bucket), &mut buf);
+            qp.try_read(GlobalAddr::new(self.desc.node, bucket), &mut buf)?;
             reads += 1;
             match Self::scan_bucket(&buf, key) {
                 ScanHit::Entry(slot) => {
-                    return LookupResult::Found {
+                    return Ok(LookupResult::Found {
                         addr: GlobalAddr::new(self.desc.node, slot.offset as usize),
                         slot,
                         reads,
-                    };
+                    });
                 }
                 ScanHit::Chain(next) => bucket = next,
-                ScanHit::Miss => return LookupResult::NotFound { reads },
+                ScanHit::Miss => return Ok(LookupResult::NotFound { reads }),
             }
         }
     }

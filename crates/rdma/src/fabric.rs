@@ -5,6 +5,7 @@ use std::sync::Arc;
 use drtm_htm::{vtime, Region};
 
 use crate::counters::OpCounters;
+use crate::fault::{FabricError, FaultConfig, FaultPlan, SendFate};
 use crate::latency::LatencyProfile;
 use crate::verbs::Verbs;
 
@@ -63,6 +64,8 @@ pub struct ClusterConfig {
     pub profile: LatencyProfile,
     /// RDMA-atomics coherence level.
     pub atomicity: AtomicityLevel,
+    /// Fault-injection plan (defaults to injecting nothing).
+    pub faults: FaultConfig,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +75,7 @@ impl Default for ClusterConfig {
             region_size: 1 << 20,
             profile: LatencyProfile::rdma(),
             atomicity: AtomicityLevel::Hca,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -106,6 +110,7 @@ pub struct Cluster {
     atomicity: AtomicityLevel,
     counters: Arc<OpCounters>,
     verbs: Verbs,
+    faults: FaultPlan,
 }
 
 impl Cluster {
@@ -122,6 +127,7 @@ impl Cluster {
             atomicity: cfg.atomicity,
             counters: Arc::new(OpCounters::new()),
             verbs: Verbs::new(cfg.nodes),
+            faults: FaultPlan::new(cfg.faults, cfg.nodes),
         })
     }
 
@@ -159,6 +165,11 @@ impl Cluster {
         &self.verbs
     }
 
+    /// The fault-injection plan (inert unless configured or armed).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Creates a queue-pair handle owned by machine `from`.
     pub fn qp(self: &Arc<Self>, from: NodeId) -> Qp {
         Qp { cluster: Arc::clone(self), from }
@@ -189,43 +200,114 @@ impl Qp {
     }
 
     /// One-sided RDMA READ of `buf.len()` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed under the cluster's
+    /// [`FaultPlan`] — an infallible verb must never serve stale bytes
+    /// from a corpse. Paths that can legally race a crash use
+    /// [`Qp::try_read`].
     pub fn read(&self, addr: GlobalAddr, buf: &mut [u8]) {
+        self.try_read(addr, buf).expect("RDMA READ against a crashed node");
+    }
+
+    /// Fallible [`Qp::read`]: fails within the configured deadline when
+    /// either end is crashed instead of serving stale memory.
+    pub fn try_read(&self, addr: GlobalAddr, buf: &mut [u8]) -> Result<(), FabricError> {
+        self.cluster.faults.admit(self.from, addr.node)?;
         vtime::charge(self.cluster.profile.read_ns(buf.len()));
         self.cluster.counters.record_read(buf.len());
         self.cluster.node(addr.node).region.read_nt(addr.offset, buf);
+        Ok(())
     }
 
     /// One-sided RDMA WRITE of `data` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn write(&self, addr: GlobalAddr, data: &[u8]) {
+        self.try_write(addr, data).expect("RDMA WRITE against a crashed node");
+    }
+
+    /// Fallible [`Qp::write`].
+    pub fn try_write(&self, addr: GlobalAddr, data: &[u8]) -> Result<(), FabricError> {
+        self.cluster.faults.admit(self.from, addr.node)?;
         vtime::charge(self.cluster.profile.write_ns(data.len()));
         self.cluster.counters.record_write(data.len());
         self.cluster.node(addr.node).region.write_nt(addr.offset, data);
+        Ok(())
     }
 
     /// One-sided RDMA READ of an aligned `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
         let mut buf = [0u8; 8];
         self.read(addr, &mut buf);
         u64::from_le_bytes(buf)
     }
 
+    /// Fallible [`Qp::read_u64`].
+    pub fn try_read_u64(&self, addr: GlobalAddr) -> Result<u64, FabricError> {
+        let mut buf = [0u8; 8];
+        self.try_read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
     /// One-sided RDMA WRITE of an aligned `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn write_u64(&self, addr: GlobalAddr, value: u64) {
         self.write(addr, &value.to_le_bytes());
     }
 
+    /// Fallible [`Qp::write_u64`].
+    pub fn try_write_u64(&self, addr: GlobalAddr, value: u64) -> Result<(), FabricError> {
+        self.try_write(addr, &value.to_le_bytes())
+    }
+
     /// One-sided RDMA compare-and-swap; returns the pre-operation value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn cas_u64(&self, addr: GlobalAddr, expected: u64, new: u64) -> u64 {
+        self.try_cas_u64(addr, expected, new).expect("RDMA CAS against a crashed node")
+    }
+
+    /// Fallible [`Qp::cas_u64`].
+    pub fn try_cas_u64(
+        &self,
+        addr: GlobalAddr,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, FabricError> {
+        self.cluster.faults.admit(self.from, addr.node)?;
         vtime::charge(self.cluster.profile.atomic_ns);
         self.cluster.counters.record_cas();
-        self.cluster.node(addr.node).region.cas_u64_nt(addr.offset, expected, new)
+        Ok(self.cluster.node(addr.node).region.cas_u64_nt(addr.offset, expected, new))
     }
 
     /// One-sided RDMA fetch-and-add; returns the pre-operation value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn faa_u64(&self, addr: GlobalAddr, delta: u64) -> u64 {
+        self.try_faa_u64(addr, delta).expect("RDMA FAA against a crashed node")
+    }
+
+    /// Fallible [`Qp::faa_u64`].
+    pub fn try_faa_u64(&self, addr: GlobalAddr, delta: u64) -> Result<u64, FabricError> {
+        self.cluster.faults.admit(self.from, addr.node)?;
         vtime::charge(self.cluster.profile.atomic_ns);
         self.cluster.counters.record_faa();
-        self.cluster.node(addr.node).region.faa_u64_nt(addr.offset, delta)
+        Ok(self.cluster.node(addr.node).region.faa_u64_nt(addr.offset, delta))
     }
 
     /// Local CPU compare-and-swap on this machine's own region.
@@ -244,11 +326,39 @@ impl Qp {
     /// The sender is charged the one-way cost now; the receiver is
     /// charged the same cost when it takes the message off its queue
     /// (two-sided verbs involve both CPUs, §2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end is crashed (see [`Qp::read`]).
     pub fn send(&self, to: NodeId, qid: crate::verbs::QueueId, payload: Vec<u8>) {
+        self.try_send(to, qid, payload).expect("SEND to a crashed node");
+    }
+
+    /// Fallible [`Qp::send`] that also rolls the fault plan's message
+    /// dice: the message may be silently dropped or delivered twice.
+    /// `Ok` therefore means "handed to the NIC", not "delivered" —
+    /// exactly the guarantee real SEND gives before the ACK.
+    pub fn try_send(
+        &self,
+        to: NodeId,
+        qid: crate::verbs::QueueId,
+        payload: Vec<u8>,
+    ) -> Result<(), FabricError> {
+        self.cluster.faults.admit(self.from, to)?;
         let cost = self.cluster.profile.send_ns(payload.len());
         vtime::charge(cost);
         self.cluster.counters.record_send(payload.len());
-        self.cluster.verbs.deliver_costed(self.from, to, qid, payload, cost);
+        match self.cluster.faults.send_fate() {
+            SendFate::Drop => {}
+            SendFate::Duplicate => {
+                self.cluster.verbs.deliver_costed(self.from, to, qid, payload.clone(), cost);
+                self.cluster.verbs.deliver_costed(self.from, to, qid, payload, cost);
+            }
+            SendFate::Deliver => {
+                self.cluster.verbs.deliver_costed(self.from, to, qid, payload, cost);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -261,7 +371,7 @@ mod tests {
             nodes: 2,
             region_size: 4096,
             profile: LatencyProfile::zero(),
-            atomicity: AtomicityLevel::Hca,
+            ..Default::default()
         })
     }
 
@@ -300,7 +410,7 @@ mod tests {
             nodes: 2,
             region_size: 4096,
             profile: LatencyProfile::rdma(),
-            atomicity: AtomicityLevel::Hca,
+            ..Default::default()
         });
         let qp = c.qp(0);
         vtime::take();
@@ -321,6 +431,69 @@ mod tests {
         assert_eq!(txn.read_u64(0).unwrap(), 0);
         c.qp(0).cas_u64(GlobalAddr::new(1, 0), 0, 0xBEEF);
         assert_eq!(txn.commit(), Err(drtm_htm::Abort::Conflict));
+    }
+
+    #[test]
+    fn ops_against_a_crashed_node_fail_typed() {
+        let c = two_nodes();
+        let qp = c.qp(0);
+        let addr = GlobalAddr::new(1, 0);
+        qp.write_u64(addr, 77);
+        c.faults().kill(1);
+        let dead = crate::FabricError::PeerDead { node: 1 };
+        let mut buf = [0u8; 8];
+        assert_eq!(qp.try_read(addr, &mut buf), Err(dead));
+        assert_eq!(buf, [0u8; 8], "failed read must not deliver bytes");
+        assert_eq!(qp.try_write_u64(addr, 1), Err(dead));
+        assert_eq!(qp.try_read_u64(addr), Err(dead));
+        assert_eq!(qp.try_cas_u64(addr, 77, 1), Err(dead));
+        assert_eq!(qp.try_faa_u64(addr, 1), Err(dead));
+        assert_eq!(qp.try_send(1, 3, vec![1]), Err(dead));
+        // The corpse's memory is untouched (NVRAM survives the crash).
+        assert_eq!(c.node(1).region().read_u64_nt(0), 77);
+        // After revival (recovery re-provisioned the node) ops resume.
+        c.faults().revive(1);
+        assert_eq!(qp.try_read_u64(addr), Ok(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "RDMA READ against a crashed node")]
+    fn infallible_read_panics_on_crashed_node() {
+        let c = two_nodes();
+        c.faults().kill(1);
+        c.qp(0).read_u64(GlobalAddr::new(1, 0));
+    }
+
+    #[test]
+    fn send_faults_drop_and_duplicate_deterministically() {
+        let mk = || {
+            Cluster::new(ClusterConfig {
+                nodes: 2,
+                region_size: 64,
+                profile: LatencyProfile::zero(),
+                faults: crate::FaultConfig {
+                    seed: 9,
+                    drop_prob: 0.4,
+                    dup_prob: 0.3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+        };
+        let deliveries = |c: &Arc<Cluster>| {
+            for i in 0..100u8 {
+                c.qp(0).send(1, 0, vec![i]);
+            }
+            let mut got = Vec::new();
+            while let Some(m) = c.verbs().try_recv(1, 0) {
+                got.push(m.payload[0]);
+            }
+            got
+        };
+        let (a, b) = (mk(), mk());
+        let (da, db) = (deliveries(&a), deliveries(&b));
+        assert_eq!(da, db, "same seed must replay the same schedule");
+        assert_ne!(da.len(), 100, "with these probabilities some fate must differ");
     }
 
     #[test]

@@ -46,10 +46,12 @@
 
 mod counters;
 mod fabric;
+mod fault;
 mod latency;
 mod verbs;
 
 pub use counters::{CounterSnapshot, OpCounters};
 pub use fabric::{AtomicityLevel, Cluster, ClusterConfig, GlobalAddr, Node, NodeId, Qp};
+pub use fault::{FabricError, FaultConfig, FaultPlan};
 pub use latency::LatencyProfile;
 pub use verbs::{Message, QueueId, Verbs};

@@ -280,7 +280,7 @@ impl MicroWorker {
         });
         match r {
             Ok(()) | Err(TxnError::UserAborted) => {}
-            Err(TxnError::SimulatedCrash) => panic!("unexpected crash"),
+            Err(e) => panic!("unexpected transaction failure: {e:?}"),
         }
     }
 }

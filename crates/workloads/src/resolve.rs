@@ -17,7 +17,7 @@ use parking_lot::RwLock;
 
 use drtm_core::{RecordAddr, Worker};
 use drtm_memstore::{ClusterHash, LocationCache, LookupResult};
-use drtm_rdma::NodeId;
+use drtm_rdma::{FabricError, NodeId};
 
 /// One logical table, instantiated once per machine (identical geometry
 /// everywhere), plus per-client-machine location caches.
@@ -75,7 +75,24 @@ impl Table {
     ///
     /// Local keys use a validated HTM lookup; remote keys go through the
     /// location cache. Returns `None` if the key does not exist.
+    ///
+    /// # Panics
+    ///
+    /// If `server` is crashed and the answer is not cached (use
+    /// [`Table::try_resolve`] under the chaos harness).
     pub fn resolve(&self, worker: &Worker, server: NodeId, key: u64) -> Option<RecordAddr> {
+        self.try_resolve(worker, server, key).expect("resolve against a crashed node")
+    }
+
+    /// [`Table::resolve`] with typed dead-peer reporting: a warm cache
+    /// still answers without touching the fabric, but a lookup that must
+    /// read a crashed machine's buckets surfaces the fabric error.
+    pub fn try_resolve(
+        &self,
+        worker: &Worker,
+        server: NodeId,
+        key: u64,
+    ) -> Result<Option<RecordAddr>, FabricError> {
         let cap = self.value_cap();
         if server == worker.node {
             let region = worker.region().clone();
@@ -85,9 +102,9 @@ impl Table {
                 let mut txn = region.begin(worker.executor().config());
                 if let Ok(found) = table.get_local(&mut txn, key) {
                     if txn.commit().is_ok() {
-                        return found.map(|e| {
+                        return Ok(found.map(|e| {
                             RecordAddr::new(drtm_rdma::GlobalAddr::new(server, e.offset), cap)
-                        });
+                        }));
                     }
                 }
                 backoff.snooze();
@@ -95,9 +112,9 @@ impl Table {
         } else {
             let cache = self.cache(worker.node, server);
             let table = self.shard(server);
-            cache
-                .lookup(worker.qp(), table, key)
-                .map(|(addr, _slot, _reads)| RecordAddr::new(addr, cap))
+            Ok(cache
+                .try_lookup(worker.qp(), table, key)?
+                .map(|(addr, _slot, _reads)| RecordAddr::new(addr, cap)))
         }
     }
 
@@ -171,6 +188,20 @@ mod tests {
         table.resolve(&w, 1, 3).unwrap();
         let d = sys.cluster().counters().snapshot().since(&before);
         assert_eq!(d.reads, 0, "warm cache lookup must be free");
+    }
+
+    #[test]
+    fn crashed_server_resolution_is_typed_not_stale() {
+        let (sys, table) = build();
+        let w = sys.worker(0, 0);
+        table.resolve(&w, 1, 3).unwrap(); // warm the cache
+        sys.cluster().faults().kill(1);
+        // The warm entry answers without touching the fabric…
+        assert!(table.try_resolve(&w, 1, 3).unwrap().is_some());
+        // …but a cold key must read node 1's buckets: typed failure.
+        assert!(matches!(table.try_resolve(&w, 1, 4), Err(FabricError::PeerDead { node: 1 })));
+        sys.cluster().faults().revive(1);
+        assert!(table.try_resolve(&w, 1, 4).unwrap().is_some());
     }
 
     #[test]

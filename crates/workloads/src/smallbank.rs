@@ -20,7 +20,7 @@ use rand::Rng;
 use drtm_core::{DrTm, DrTmConfig, NodeLayout, RecordAddr, SoftTimer, TxnError, TxnSpec, Worker};
 use drtm_htm::{Executor, HtmStats};
 use drtm_memstore::{Arena, ClusterHash};
-use drtm_rdma::{Cluster, ClusterConfig, LatencyProfile, NodeId};
+use drtm_rdma::{Cluster, ClusterConfig, FabricError, LatencyProfile, NodeId};
 
 use crate::dist::rng;
 use crate::resolve::Table;
@@ -179,6 +179,12 @@ impl SmallBankWorker {
         &self.w
     }
 
+    /// Mutable access to the underlying worker (the chaos harness uses
+    /// it to drain parked write-backs after a peer revives).
+    pub fn worker_mut(&mut self) -> &mut Worker {
+        &mut self.w
+    }
+
     fn pick_local_account(&mut self) -> (NodeId, u64) {
         let node = self.w.node;
         (node, self.pick_on(node))
@@ -211,30 +217,54 @@ impl SmallBankWorker {
         (node, acct)
     }
 
-    fn resolve(&self, table: &Table, node: NodeId, key: u64) -> RecordAddr {
-        table.resolve(&self.w, node, key).expect("populated account")
+    fn resolve(&self, table: &Table, node: NodeId, key: u64) -> Result<RecordAddr, TxnError> {
+        match table.try_resolve(&self.w, node, key) {
+            Ok(found) => Ok(found.expect("populated account")),
+            Err(FabricError::PeerDead { node } | FabricError::Timeout { node }) => {
+                Err(TxnError::PeerDead(node))
+            }
+        }
     }
 
     /// Runs one transaction drawn from the mix; returns its label.
+    ///
+    /// # Panics
+    ///
+    /// On a crashed peer (use [`SmallBankWorker::try_run_one`] under the
+    /// chaos harness).
     pub fn run_one(&mut self) -> &'static str {
+        self.try_run_one().expect("transaction hit a crashed node")
+    }
+
+    /// [`SmallBankWorker::run_one`] with typed crash reporting: a
+    /// transaction that touches a crashed peer (or whose own machine is
+    /// crash-simulated) surfaces the error instead of panicking. Normal
+    /// aborts (`UserAborted`) are retried-away internally as before.
+    pub fn try_run_one(&mut self) -> Result<&'static str, TxnError> {
         let dice = self.rng.gen_range(0..100u32);
         match dice {
-            0..=24 => self.send_payment(),
-            25..=39 => self.balance(),
-            40..=54 => self.deposit_checking(),
-            55..=69 => self.withdraw_from_checking(),
-            70..=84 => self.transfer_to_savings(),
-            _ => self.amalgamate(),
+            0..=24 => self.try_send_payment().map(|_| "send_payment"),
+            25..=39 => self.try_balance().map(|_| "balance"),
+            40..=54 => self.try_deposit_checking().map(|_| "deposit_checking"),
+            55..=69 => self.try_withdraw_from_checking().map(|_| "withdraw_from_checking"),
+            70..=84 => self.try_transfer_to_savings().map(|_| "transfer_to_savings"),
+            _ => self.try_amalgamate().map(|_| "amalgamate"),
         }
     }
 
     /// SP: move money between two checking accounts (possibly remote).
     pub fn send_payment(&mut self) -> &'static str {
+        finish(self.try_send_payment());
+        "send_payment"
+    }
+
+    /// Fallible [`SmallBankWorker::send_payment`].
+    pub fn try_send_payment(&mut self) -> Result<(), TxnError> {
         let (na, a) = self.pick_local_account();
         let (nb, b) = self.pick_second(a);
         let amount = self.rng.gen_range(1..100u64);
-        let ra = self.resolve(&self.checking, na, a);
-        let rb = self.resolve(&self.checking, nb, b);
+        let ra = self.resolve(&self.checking, na, a)?;
+        let rb = self.resolve(&self.checking, nb, b)?;
         let mut spec = TxnSpec::default();
         let b_remote = nb != self.w.node;
         spec.local_writes.push(ra);
@@ -243,7 +273,7 @@ impl SmallBankWorker {
         } else {
             spec.local_writes.push(rb);
         }
-        let r = self.w.execute(&spec, |ctx| {
+        tolerate_user_abort(self.w.execute(&spec, |ctx| {
             let va = fields(&ctx.local_write_cur(0)?)[0];
             ctx.local_write(0, &pack_fields(&[va.wrapping_sub(amount)]))?;
             if b_remote {
@@ -254,69 +284,91 @@ impl SmallBankWorker {
                 ctx.local_write(1, &pack_fields(&[vb.wrapping_add(amount)]))?;
             }
             Ok(())
-        });
-        finish(r);
-        "send_payment"
+        }))
     }
 
     /// BAL: read-only sum of a customer's two balances.
     pub fn balance(&mut self) -> &'static str {
-        let (n, a) = self.pick_local_account();
-        let rc = self.resolve(&self.checking, n, a);
-        let rs = self.resolve(&self.savings, n, a);
-        let _ = self.w.read_only_records(&[rc, rs]);
+        finish(self.try_balance());
         "balance"
+    }
+
+    /// Fallible [`SmallBankWorker::balance`].
+    pub fn try_balance(&mut self) -> Result<(), TxnError> {
+        let (n, a) = self.pick_local_account();
+        let rc = self.resolve(&self.checking, n, a)?;
+        let rs = self.resolve(&self.savings, n, a)?;
+        let _ = self.w.try_read_only_records(&[rc, rs])?;
+        Ok(())
     }
 
     /// DC: deposit into checking.
     pub fn deposit_checking(&mut self) -> &'static str {
+        finish(self.try_deposit_checking());
+        "deposit_checking"
+    }
+
+    /// Fallible [`SmallBankWorker::deposit_checking`].
+    pub fn try_deposit_checking(&mut self) -> Result<(), TxnError> {
         let (n, a) = self.pick_local_account();
         let amount = self.rng.gen_range(1..100u64);
-        let rec = self.resolve(&self.checking, n, a);
+        let rec = self.resolve(&self.checking, n, a)?;
         let spec = TxnSpec { local_writes: vec![rec], ..Default::default() };
-        let r = self.w.execute(&spec, |ctx| {
+        tolerate_user_abort(self.w.execute(&spec, |ctx| {
             let v = fields(&ctx.local_write_cur(0)?)[0];
             ctx.local_write(0, &pack_fields(&[v.wrapping_add(amount)]))
-        });
-        finish(r);
-        "deposit_checking"
+        }))
     }
 
     /// WC: withdraw from checking.
     pub fn withdraw_from_checking(&mut self) -> &'static str {
+        finish(self.try_withdraw_from_checking());
+        "withdraw_from_checking"
+    }
+
+    /// Fallible [`SmallBankWorker::withdraw_from_checking`].
+    pub fn try_withdraw_from_checking(&mut self) -> Result<(), TxnError> {
         let (n, a) = self.pick_local_account();
         let amount = self.rng.gen_range(1..100u64);
-        let rec = self.resolve(&self.checking, n, a);
+        let rec = self.resolve(&self.checking, n, a)?;
         let spec = TxnSpec { local_writes: vec![rec], ..Default::default() };
-        let r = self.w.execute(&spec, |ctx| {
+        tolerate_user_abort(self.w.execute(&spec, |ctx| {
             let v = fields(&ctx.local_write_cur(0)?)[0];
             ctx.local_write(0, &pack_fields(&[v.wrapping_sub(amount)]))
-        });
-        finish(r);
-        "withdraw_from_checking"
+        }))
     }
 
     /// TS: transfer into savings.
     pub fn transfer_to_savings(&mut self) -> &'static str {
+        finish(self.try_transfer_to_savings());
+        "transfer_to_savings"
+    }
+
+    /// Fallible [`SmallBankWorker::transfer_to_savings`].
+    pub fn try_transfer_to_savings(&mut self) -> Result<(), TxnError> {
         let (n, a) = self.pick_local_account();
         let amount = self.rng.gen_range(1..100u64);
-        let rec = self.resolve(&self.savings, n, a);
+        let rec = self.resolve(&self.savings, n, a)?;
         let spec = TxnSpec { local_writes: vec![rec], ..Default::default() };
-        let r = self.w.execute(&spec, |ctx| {
+        tolerate_user_abort(self.w.execute(&spec, |ctx| {
             let v = fields(&ctx.local_write_cur(0)?)[0];
             ctx.local_write(0, &pack_fields(&[v.wrapping_add(amount)]))
-        });
-        finish(r);
-        "transfer_to_savings"
+        }))
     }
 
     /// AMG: move all funds of account A into account B's checking.
     pub fn amalgamate(&mut self) -> &'static str {
+        finish(self.try_amalgamate());
+        "amalgamate"
+    }
+
+    /// Fallible [`SmallBankWorker::amalgamate`].
+    pub fn try_amalgamate(&mut self) -> Result<(), TxnError> {
         let (na, a) = self.pick_local_account();
         let (nb, b) = self.pick_second(a);
-        let rs = self.resolve(&self.savings, na, a);
-        let rc = self.resolve(&self.checking, na, a);
-        let rb = self.resolve(&self.checking, nb, b);
+        let rs = self.resolve(&self.savings, na, a)?;
+        let rc = self.resolve(&self.checking, na, a)?;
+        let rb = self.resolve(&self.checking, nb, b)?;
         let mut spec = TxnSpec { local_writes: vec![rs, rc], ..Default::default() };
         let b_remote = nb != self.w.node;
         if b_remote {
@@ -324,7 +376,7 @@ impl SmallBankWorker {
         } else {
             spec.local_writes.push(rb);
         }
-        let r = self.w.execute(&spec, |ctx| {
+        tolerate_user_abort(self.w.execute(&spec, |ctx| {
             let vs = fields(&ctx.local_write_cur(0)?)[0];
             let vc = fields(&ctx.local_write_cur(1)?)[0];
             ctx.local_write(0, &pack_fields(&[0]))?;
@@ -338,16 +390,22 @@ impl SmallBankWorker {
                 ctx.local_write(2, &pack_fields(&[vb.wrapping_add(total)]))?;
             }
             Ok(())
-        });
-        finish(r);
-        "amalgamate"
+        }))
     }
 }
 
-fn finish<T>(r: Result<T, TxnError>) {
+/// `UserAborted` is a normal outcome of the mix; anything else (a dead
+/// peer, a simulated crash of this worker's own machine) propagates.
+fn tolerate_user_abort<T>(r: Result<T, TxnError>) -> Result<(), TxnError> {
     match r {
-        Ok(_) | Err(TxnError::UserAborted) => {}
-        Err(TxnError::SimulatedCrash) => panic!("unexpected simulated crash"),
+        Ok(_) | Err(TxnError::UserAborted) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+fn finish(r: Result<(), TxnError>) {
+    if let Err(e) = r {
+        panic!("unexpected transaction failure: {e:?}");
     }
 }
 

@@ -155,6 +155,7 @@ impl Tpcc {
             region_size: cfg.region_size,
             profile: cfg.profile.clone(),
             atomicity: cfg.atomicity,
+            ..Default::default()
         });
         let wh_per_node = cfg.workers as u64;
         let dists = wh_per_node * cfg.districts;

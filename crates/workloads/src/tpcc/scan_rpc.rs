@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use drtm_htm::Executor;
 use drtm_memstore::BTree;
-use drtm_rdma::{Cluster, NodeId, QueueId};
+use drtm_rdma::{Cluster, FabricError, NodeId, QueueId};
 
 /// Queue id of a machine's ordered-store scan service.
 pub const SCAN_RPC_QUEUE: QueueId = 0xFFDD;
@@ -84,6 +84,33 @@ pub fn remote_scan(
     decode_pairs(&reply.payload)
 }
 
+/// [`remote_scan`] with a reply deadline: a crashed host is reported as
+/// a typed [`FabricError`] instead of blocking forever. The SEND itself
+/// fails fast if the host is already known dead; a host that dies after
+/// accepting the request (or whose reply is dropped by the fault plan)
+/// surfaces as [`FabricError::Timeout`] once `deadline` elapses.
+// Mirrors remote_scan's wire-field parameter list.
+#[allow(clippy::too_many_arguments)]
+pub fn try_remote_scan(
+    cluster: &Arc<Cluster>,
+    from: NodeId,
+    host: NodeId,
+    reply_q: QueueId,
+    tree_idx: u16,
+    lo: u64,
+    hi: u64,
+    max: u32,
+    deadline: Duration,
+) -> Result<Vec<(u64, u64)>, FabricError> {
+    let qp = cluster.qp(from);
+    qp.try_send(host, SCAN_RPC_QUEUE, encode_req(tree_idx, lo, hi, max, reply_q))?;
+    let reply = cluster
+        .verbs()
+        .recv_timeout(from, reply_q, deadline)
+        .ok_or(FabricError::Timeout { node: host })?;
+    Ok(decode_pairs(&reply.payload))
+}
+
 /// Host-side scan service over a registry of trees; runs until dropped.
 #[derive(Debug)]
 pub struct ScanServiceGuard {
@@ -133,7 +160,9 @@ pub fn spawn_scan_service(
                     }
                     backoff.snooze();
                 };
-                qp.send(msg.from, reply_q, encode_pairs(&pairs));
+                // A client that crashed between request and reply must
+                // not take the whole scan service down with it.
+                let _ = qp.try_send(msg.from, reply_q, encode_pairs(&pairs));
             }
         })
         .expect("spawn scan service");
@@ -180,5 +209,44 @@ mod tests {
         assert_eq!(got, (10..=20).map(|k| (k, k * 2)).collect::<Vec<_>>());
         let capped = remote_scan(&cluster, 1, 0, 77, 0, 0, 99, 5);
         assert_eq!(capped.len(), 5);
+    }
+
+    #[test]
+    fn dead_clients_and_dead_hosts_do_not_wedge_the_scan_rpc() {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            region_size: 4 << 20,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        let mut arena = Arena::new(0, 4 << 20);
+        let region = cluster.node(0).region();
+        let tree = Arc::new(BTree::create(&mut arena, region, 0, 512));
+        let exec = Executor::new(HtmConfig::default(), Arc::new(HtmStats::new()));
+        for k in 0..10u64 {
+            loop {
+                let mut txn = region.begin(exec.config());
+                if tree.insert(&mut txn, k, k).is_ok() && txn.commit().is_ok() {
+                    break;
+                }
+            }
+        }
+        // Node 1 posts a request and dies before the service even starts:
+        // the reply is undeliverable, and the service must shrug it off.
+        cluster.qp(1).send(0, SCAN_RPC_QUEUE, encode_req(0, 0, 9, 100, 55));
+        cluster.faults().kill(1);
+        let svc = spawn_scan_service(cluster.clone(), 0, vec![tree], exec);
+        let got = remote_scan(&cluster, 2, 0, 77, 0, 0, 9, 100);
+        assert_eq!(got.len(), 10, "service survived the dead client's reply");
+        // A crashed host fails the SEND itself, typed and immediate.
+        cluster.faults().kill(0);
+        let e = try_remote_scan(&cluster, 2, 0, 77, 0, 0, 9, 100, Duration::from_millis(50));
+        assert_eq!(e, Err(FabricError::PeerDead { node: 0 }));
+        cluster.faults().revive(0);
+        // A host that accepts the request but never answers (service gone)
+        // is bounded by the reply deadline.
+        drop(svc);
+        let e = try_remote_scan(&cluster, 2, 0, 78, 0, 0, 9, 100, Duration::from_millis(20));
+        assert_eq!(e, Err(FabricError::Timeout { node: 0 }));
     }
 }

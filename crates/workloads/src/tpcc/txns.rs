@@ -493,7 +493,7 @@ impl TpccWorker {
 fn finish<T>(r: Result<T, TxnError>) {
     match r {
         Ok(_) | Err(TxnError::UserAborted) => {}
-        Err(TxnError::SimulatedCrash) => panic!("unexpected simulated crash"),
+        Err(e) => panic!("unexpected transaction failure: {e:?}"),
     }
 }
 
