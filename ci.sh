@@ -10,11 +10,16 @@
 # With --bench-smoke, additionally runs the two headline bench harnesses
 # at minimum scale into a scratch directory and validates the
 # machine-readable BENCH_*.json they emit (schema keys present, numbers
-# finite, throughput positive). See EXPERIMENTS.md for the schema.
+# finite, throughput positive), then diffs them against the committed
+# repo-root baselines with check_bench_json --diff (>10% throughput
+# regression fails; smoke-scale runs skip the throughput comparison but
+# still exercise the diff path). See EXPERIMENTS.md for the schema.
 #
 # With --chaos-smoke, additionally runs the deterministic chaos matrix
-# (tests/chaos.rs) at minimum scale and the crash+recovery segment of
-# tab6_durability, validating its emitted JSON (extra.recovery_ms).
+# (tests/chaos.rs) at minimum scale — including the fallback
+# log-before-unlock crash points — and the crash+recovery plus
+# durable-free read-only segments of tab6_durability, validating its
+# emitted JSON (extra.recovery_ms, extra.ro_log_bytes == 0).
 #
 # The build is fully offline: third-party deps resolve to the minimal
 # vendored stubs under vendor/ via [patch.crates-io] in Cargo.toml.
@@ -55,15 +60,17 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     cargo bench -q -p drtm-bench --bench fig10d_cache_size
   DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p drtm-bench --bench fig12_tpcc_machines
-  echo "== bench smoke: validate emitted JSON =="
+  echo "== bench smoke: validate emitted JSON + diff vs committed baselines =="
   cargo run -q --release -p drtm-bench --bin check_bench_json -- \
-    "$SMOKE_OUT"/BENCH_*.json
+    --diff . "$SMOKE_OUT"/BENCH_*.json
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then
   echo "== chaos smoke: crash-point matrix at minimum scale =="
   DRTM_SCALE=0.01 cargo test -q --test chaos
-  echo "== chaos smoke: tab6 crash+recovery segment =="
+  echo "== chaos smoke: fallback log-before-unlock crash points =="
+  DRTM_SCALE=0.01 cargo test -q --test chaos fallback_pipeline
+  echo "== chaos smoke: tab6 crash+recovery + durable-free RO segments =="
   CHAOS_OUT="$(mktemp -d)"
   SCRATCH_DIRS+=("$CHAOS_OUT")
   DRTM_SCALE=0.01 DRTM_BENCH_OUT="$CHAOS_OUT" \
@@ -71,6 +78,8 @@ if [ "$CHAOS_SMOKE" = 1 ]; then
   echo "== chaos smoke: validate emitted JSON =="
   cargo run -q --release -p drtm-bench --bin check_bench_json -- \
     "$CHAOS_OUT"/BENCH_tab6_durability.json
+  grep -q '"ro_log_bytes": 0.0' "$CHAOS_OUT"/BENCH_tab6_durability.json \
+    || { echo "tab6 ledger missing ro_log_bytes == 0" >&2; exit 1; }
 fi
 
 echo "CI OK"

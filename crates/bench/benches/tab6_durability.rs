@@ -159,6 +159,54 @@ fn main() {
         diag.txn.peer_dead_aborts
     );
 
+    // ------------------------------------------------------------------
+    // Durable-free read-only transactions: with logging on, an RO scan
+    // must stage no log record and never wait on a log-done flush.
+    // Asserted by counter, not inspection — the log write/byte/wait
+    // deltas across the whole segment must all be exactly zero.
+    // ------------------------------------------------------------------
+    println!("\n-- durable-free read-only segment (SmallBank balance) --");
+    let ro_iters = scaled(4_000, 120);
+    let mut ro_tput = [0.0f64; 2];
+    let mut ro_log_bytes = 0u64;
+    for (i, logging) in [false, true].into_iter().enumerate() {
+        let sb = SmallBank::build(SmallBankConfig {
+            nodes: 3,
+            workers: 1,
+            accounts_per_node: 2_000,
+            dist_prob: 0.5,
+            drtm: DrTmConfig { logging, ..Default::default() },
+            ..Default::default()
+        });
+        let mut ws: Vec<_> = (0..3u16).map(|n| sb.worker(n, 0)).collect();
+        let before = sb.sys.stats_report();
+        let t0 = std::time::Instant::now();
+        for _ in 0..ro_iters {
+            for w in ws.iter_mut() {
+                w.try_balance().expect("no peer dies in the RO segment");
+            }
+        }
+        let ro_wall = t0.elapsed().as_secs_f64();
+        let d = sb.sys.stats_report().since(&before);
+        ro_tput[i] = (3 * ro_iters) as f64 / ro_wall.max(1e-9);
+        if logging {
+            ro_log_bytes = d.txn.log_bytes;
+            assert_eq!(d.txn.log_writes, 0, "read-only path must write no log records");
+            assert_eq!(d.txn.log_bytes, 0, "read-only path must write no log bytes");
+            assert_eq!(d.txn.log_done_waits, 0, "read-only path must never wait on log-done");
+        }
+        println!(
+            "logging {}: {} balance txns/s, {} log bytes",
+            if logging { "on " } else { "off" },
+            mops(ro_tput[i]),
+            d.txn.log_bytes
+        );
+    }
+    assert!(
+        ro_tput[1] > 0.2 * ro_tput[0],
+        "durable-free RO throughput must not collapse when logging is enabled"
+    );
+
     let mut out =
         BenchReport::new("tab6_durability", wall, diag.txn.committed as f64 / wall.max(1e-9));
     out.aborts_per_cause = causes_of(&diag);
@@ -169,5 +217,8 @@ fn main() {
     out.push_extra("recovered_redone_updates", rec.redone_updates as f64);
     out.push_extra("recovered_released_locks", rec.released_locks as f64);
     out.push_extra("peer_dead_aborts", diag.txn.peer_dead_aborts as f64);
+    out.push_extra("ro_throughput_logging_off", ro_tput[0]);
+    out.push_extra("ro_throughput_logging_on", ro_tput[1]);
+    out.push_extra("ro_log_bytes", ro_log_bytes as f64);
     out.write();
 }

@@ -1,14 +1,23 @@
 //! CI gate over emitted `BENCH_*.json` files.
 //!
-//! Usage: `check_bench_json [FILE ...]` — with no arguments, checks
-//! every `BENCH_*.json` in the bench output directory (`DRTM_BENCH_OUT`
-//! or the repo root). A file fails if it does not parse, misses a
-//! required key, carries a non-numeric (`null` = NaN/inf at emission
-//! time) required value, or reports zero/negative throughput or wall
-//! time — any of which means the harness produced garbage, not a slow
-//! result.
+//! Usage: `check_bench_json [--diff BASELINE_DIR] [FILE ...]` — with no
+//! file arguments, checks every `BENCH_*.json` in the bench output
+//! directory (`DRTM_BENCH_OUT` or the repo root). A file fails if it
+//! does not parse, misses a required key, carries a non-numeric
+//! (`null` = NaN/inf at emission time) required value, reports
+//! zero/negative throughput or wall time, or claims a non-zero
+//! `extra.ro_log_bytes` — any of which means the harness produced
+//! garbage, not a slow result.
+//!
+//! With `--diff BASELINE_DIR`, each checked file is also compared
+//! against the same-named file in `BASELINE_DIR`: a throughput drop of
+//! more than 10% against the baseline fails the gate. Files whose
+//! `scale` differs from the baseline's are skipped (a smoke run at
+//! `DRTM_SCALE=0.01` is not comparable to a full-scale ledger), and a
+//! missing baseline is a warning, not an error, so new benches can land
+//! before their first baseline does.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use drtm_bench::report::{out_dir, parse, Json};
@@ -21,6 +30,9 @@ const REQUIRED_NUMERIC: &[&str] = &[
     "rdma_ops_per_txn",
     "cache_hit_rate",
 ];
+
+/// Largest tolerated fractional throughput drop against a baseline.
+const MAX_REGRESSION: f64 = 0.10;
 
 fn check(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
@@ -48,6 +60,13 @@ fn check(path: &PathBuf) -> Result<(), String> {
             other => return Err(format!("\"{key}\" must be an object (got {other:?})")),
         }
     }
+    // The durable-free read-only invariant is absolute, not a threshold:
+    // if a ledger carries the counter at all, it must be exactly zero.
+    if let Some(bytes) = extra_of(&j, "ro_log_bytes") {
+        if bytes != 0.0 {
+            return Err(format!("extra.ro_log_bytes must be exactly 0 (got {bytes})"));
+        }
+    }
     let tput = j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);
     if tput <= 0.0 {
         return Err(format!("throughput must be positive (got {tput})"));
@@ -59,8 +78,68 @@ fn check(path: &PathBuf) -> Result<(), String> {
     Ok(())
 }
 
+fn extra_of(j: &Json, key: &str) -> Option<f64> {
+    match j.get("extra") {
+        Some(Json::Obj(m)) => m.iter().find(|(k, _)| *k == key).and_then(|(_, v)| v.as_f64()),
+        _ => None,
+    }
+}
+
+/// Compare a fresh ledger against its committed baseline. `Ok(msg)`
+/// explains what happened (compared, skipped, no baseline); `Err` is a
+/// regression beyond [`MAX_REGRESSION`].
+fn diff(path: &Path, baseline_dir: &Path) -> Result<String, String> {
+    let name = path.file_name().ok_or("diff: path has no file name")?;
+    let base_path = baseline_dir.join(name);
+    let base_text = match std::fs::read_to_string(&base_path) {
+        Ok(t) => t,
+        Err(_) => return Ok(format!("no baseline at {}", base_path.display())),
+    };
+    let fresh = parse(&std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?)
+        .map_err(|e| format!("invalid JSON: {e}"))?;
+    let base = parse(&base_text)
+        .map_err(|e| format!("baseline {}: invalid JSON: {e}", base_path.display()))?;
+    let scale = |j: &Json| j.get("scale").and_then(Json::as_f64);
+    let (fs, bs) = (scale(&fresh), scale(&base));
+    if fs != bs {
+        return Ok(format!(
+            "scale mismatch (fresh {:?} vs baseline {:?}), throughput not compared",
+            fs, bs
+        ));
+    }
+    let tput = |j: &Json| j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);
+    let (ft, bt) = (tput(&fresh), tput(&base));
+    if bt > 0.0 && ft < (1.0 - MAX_REGRESSION) * bt {
+        return Err(format!(
+            "throughput regressed {:.1}% against baseline (fresh {ft:.3} vs baseline {bt:.3}, \
+             tolerance {:.0}%)",
+            100.0 * (1.0 - ft / bt),
+            100.0 * MAX_REGRESSION
+        ));
+    }
+    Ok(format!(
+        "within {:.0}% of baseline (fresh {ft:.3} vs baseline {bt:.3})",
+        100.0 * MAX_REGRESSION
+    ))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut args: Vec<PathBuf> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--diff" {
+            match raw.next() {
+                Some(d) => baseline = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("check_bench_json: --diff requires a baseline directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            args.push(PathBuf::from(a));
+        }
+    }
     let files = if args.is_empty() {
         let dir = out_dir();
         let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -90,6 +169,15 @@ fn main() -> ExitCode {
             Err(e) => {
                 println!("FAILED  {}: {e}", f.display());
                 failed = true;
+            }
+        }
+        if let Some(dir) = &baseline {
+            match diff(f, dir) {
+                Ok(msg) => println!("diff    {}: {msg}", f.display()),
+                Err(e) => {
+                    println!("FAILED  {}: {e}", f.display());
+                    failed = true;
+                }
             }
         }
     }

@@ -47,15 +47,27 @@ pub enum CrashPoint {
     /// Fallback handler: crash after its lock-ahead log is persisted,
     /// before any 2PL lock is taken.
     FallbackAfterLockAhead,
+    /// Fallback handler: crash after every 2PL lock is held and the
+    /// transaction body ran, but before the write-ahead log is staged.
+    /// Nothing is durable: recovery must roll back (release every lock
+    /// named by the lock-ahead record, touch no value).
+    FallbackBeforeWal,
     /// Fallback handler: crash after the write-ahead log is persisted,
-    /// before any update is applied.
-    FallbackAfterWriteAhead,
+    /// before any update is applied or any lock released. The
+    /// transaction is committed: recovery must redo every update
+    /// (local and remote) from the WAL.
+    FallbackAfterWalBeforeApply,
+    /// Fallback handler: crash after the first apply+unlock landed
+    /// (between update `k` and `k + 1` of the unlock loop). Recovery
+    /// must skip the applied prefix by version, redo the rest, and
+    /// release the locks still held.
+    FallbackMidUnlock,
 }
 
 impl CrashPoint {
     /// Every crash point, in protocol order (the chaos matrix iterates
     /// this).
-    pub const ALL: [CrashPoint; 8] = [
+    pub const ALL: [CrashPoint; 10] = [
         CrashPoint::AfterLockAhead,
         CrashPoint::AfterRemoteLocks,
         CrashPoint::BeforeHtmCommit,
@@ -63,7 +75,9 @@ impl CrashPoint {
         CrashPoint::MidWriteBack,
         CrashPoint::AfterWriteBacks,
         CrashPoint::FallbackAfterLockAhead,
-        CrashPoint::FallbackAfterWriteAhead,
+        CrashPoint::FallbackBeforeWal,
+        CrashPoint::FallbackAfterWalBeforeApply,
+        CrashPoint::FallbackMidUnlock,
     ];
 
     /// Stable site label used to arm a `FaultPlan` crash at this point.
@@ -76,7 +90,9 @@ impl CrashPoint {
             CrashPoint::MidWriteBack => "mid-write-back",
             CrashPoint::AfterWriteBacks => "after-write-backs",
             CrashPoint::FallbackAfterLockAhead => "fallback-after-lock-ahead",
-            CrashPoint::FallbackAfterWriteAhead => "fallback-after-write-ahead",
+            CrashPoint::FallbackBeforeWal => "fallback-before-wal",
+            CrashPoint::FallbackAfterWalBeforeApply => "fallback-after-wal-before-apply",
+            CrashPoint::FallbackMidUnlock => "fallback-mid-unlock",
         }
     }
 
@@ -88,7 +104,8 @@ impl CrashPoint {
             CrashPoint::AfterHtmCommit
                 | CrashPoint::MidWriteBack
                 | CrashPoint::AfterWriteBacks
-                | CrashPoint::FallbackAfterWriteAhead
+                | CrashPoint::FallbackAfterWalBeforeApply
+                | CrashPoint::FallbackMidUnlock
         )
     }
 }
@@ -166,5 +183,11 @@ mod tests {
         assert!(!CrashPoint::BeforeHtmCommit.is_committed());
         assert!(CrashPoint::AfterHtmCommit.is_committed());
         assert!(CrashPoint::AfterWriteBacks.is_committed());
+        // Fallback pipeline: everything strictly before the WAL rolls
+        // back, everything at-or-after it redoes.
+        assert!(!CrashPoint::FallbackAfterLockAhead.is_committed());
+        assert!(!CrashPoint::FallbackBeforeWal.is_committed());
+        assert!(CrashPoint::FallbackAfterWalBeforeApply.is_committed());
+        assert!(CrashPoint::FallbackMidUnlock.is_committed());
     }
 }

@@ -7,18 +7,25 @@
 //! before starting the next, a slot only ever holds the records of the
 //! in-flight transaction:
 //!
-//! * the **lock-ahead log** (remote write set) is persisted *before* any
-//!   exclusive remote locking, so recovery knows which records to unlock
-//!   if the machine dies mid-transaction;
-//! * the **write-ahead log** (remote updates) is written *inside* the HTM
-//!   region together with the status word, so the all-or-nothing property
-//!   of HTM guarantees it exists iff `XEND` succeeded — exactly the
-//!   paper's trick;
+//! * the **lock-ahead log** (the transaction's write set) is persisted
+//!   *before* any exclusive locking, so recovery knows which records to
+//!   unlock if the machine dies mid-transaction;
+//! * the **write-ahead log** is written *inside* the HTM region together
+//!   with the status word, so the all-or-nothing property of HTM
+//!   guarantees it exists iff `XEND` succeeded — exactly the paper's
+//!   trick. The fallback (2PL) handler stages the same record
+//!   non-transactionally, strictly *before* it applies any update or
+//!   releases any lock (log-persist-before-unlock, the HTPM ordering);
 //! * a completion marker (status 0) is written after the write-backs.
 //!
 //! Each logged update carries the record's new version, which recovery
 //! uses to apply updates at-most-once (§4.6: "each record piggybacks a
-//! version to decide the order of updates").
+//! version to decide the order of updates"). The write-ahead record also
+//! embeds the transaction's full lock list so a valid WAL is
+//! self-contained: recovery can release locks the crashed worker still
+//! held — including declared-but-unwritten records and half-released
+//! fallback locks — without trusting the (possibly stale) lock-ahead
+//! area of the slot.
 
 use drtm_htm::{vtime, Abort, HtmTxn, Region};
 use drtm_rdma::GlobalAddr;
@@ -53,7 +60,7 @@ pub fn recovering_parts(word: u64) -> Option<(drtm_rdma::NodeId, u64)> {
     (word & 0xFF == LOG_RECOVERING).then_some(((word >> 8) as u16, word >> 24))
 }
 
-/// One remote update in a write-ahead log.
+/// One update in a write-ahead log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoggedUpdate {
     /// Record being updated.
@@ -62,6 +69,18 @@ pub struct LoggedUpdate {
     pub version: u32,
     /// New value bytes.
     pub value: Vec<u8>,
+}
+
+/// Decoded write-ahead record: the updates to redo plus every lock the
+/// transaction held when the WAL became valid.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalRecord {
+    /// Every record the transaction held a write lock on (a superset of
+    /// `updates`' records: buffers declared but never written appear
+    /// here only).
+    pub locks: Vec<RecordAddr>,
+    /// Updates to redo, in apply order.
+    pub updates: Vec<LoggedUpdate>,
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -116,8 +135,7 @@ fn encode_addrs(recs: &[RecordAddr]) -> Vec<u8> {
     buf
 }
 
-fn decode_addrs(buf: &[u8]) -> Vec<RecordAddr> {
-    let mut r = Reader(buf, 0);
+fn decode_addrs(r: &mut Reader<'_>) -> Vec<RecordAddr> {
     let n = r.u16() as usize;
     (0..n)
         .map(|_| {
@@ -143,8 +161,7 @@ fn encode_updates(ups: &[LoggedUpdate]) -> Vec<u8> {
     buf
 }
 
-fn decode_updates(buf: &[u8]) -> Vec<LoggedUpdate> {
-    let mut r = Reader(buf, 0);
+fn decode_updates(r: &mut Reader<'_>) -> Vec<LoggedUpdate> {
     let n = r.u16() as usize;
     (0..n)
         .map(|_| {
@@ -213,40 +230,58 @@ impl LogSlot {
     }
 
     /// Persists the lock-ahead log (non-transactional: happens before the
-    /// HTM region, Figure 7 left).
-    pub fn log_lock_ahead(&self, region: &Region, remote_writes: &[RecordAddr]) {
-        let buf = encode_addrs(remote_writes);
+    /// HTM region, Figure 7 left). Returns the bytes persisted.
+    pub fn log_lock_ahead(&self, region: &Region, write_set: &[RecordAddr]) -> usize {
+        let buf = encode_addrs(write_set);
         assert!(buf.len() + 4 <= self.layout.lock_ahead_cap, "lock-ahead log overflow");
         vtime::charge(self.nvram_write_ns);
         region.write_nt(self.layout.lock_ahead_off, &(buf.len() as u32).to_le_bytes());
         region.write_nt(self.layout.lock_ahead_off + 4, &buf);
         region.write_u64_nt(self.layout.status_off, LOG_LOCK_AHEAD);
+        buf.len() + 4
+    }
+
+    fn encode_wal(locks: &[RecordAddr], updates: &[LoggedUpdate]) -> Vec<u8> {
+        let mut buf = encode_addrs(locks);
+        buf.extend_from_slice(&encode_updates(updates));
+        buf
     }
 
     /// Stages the write-ahead log *inside* the HTM transaction: the log
     /// bytes and the status word become visible atomically with `XEND`.
+    /// Returns the bytes staged.
     pub fn log_write_ahead(
         &self,
         txn: &mut HtmTxn<'_>,
+        locks: &[RecordAddr],
         updates: &[LoggedUpdate],
-    ) -> Result<(), Abort> {
-        let buf = encode_updates(updates);
+    ) -> Result<usize, Abort> {
+        let buf = Self::encode_wal(locks, updates);
         assert!(buf.len() + 4 <= self.layout.write_ahead_cap, "write-ahead log overflow");
         vtime::charge(self.nvram_write_ns + buf.len() as u64 / 8);
         txn.write(self.layout.write_ahead_off, &(buf.len() as u32).to_le_bytes())?;
         txn.write(self.layout.write_ahead_off + 4, &buf)?;
-        txn.write_u64(self.layout.status_off, LOG_WRITE_AHEAD)
+        txn.write_u64(self.layout.status_off, LOG_WRITE_AHEAD)?;
+        Ok(buf.len() + 4)
     }
 
-    /// Fallback-path variant: the handler runs outside HTM and logs ahead
-    /// of its updates like a conventional system (§6.2).
-    pub fn log_write_ahead_nt(&self, region: &Region, updates: &[LoggedUpdate]) {
-        let buf = encode_updates(updates);
+    /// Fallback-path variant: the handler runs outside HTM and persists
+    /// the WAL strictly before applying any update or releasing any lock
+    /// (§6.2, with the HTPM log-before-unlock ordering). Returns the
+    /// bytes persisted.
+    pub fn log_write_ahead_nt(
+        &self,
+        region: &Region,
+        locks: &[RecordAddr],
+        updates: &[LoggedUpdate],
+    ) -> usize {
+        let buf = Self::encode_wal(locks, updates);
         assert!(buf.len() + 4 <= self.layout.write_ahead_cap, "write-ahead log overflow");
         vtime::charge(self.nvram_write_ns + buf.len() as u64 / 8);
         region.write_nt(self.layout.write_ahead_off, &(buf.len() as u32).to_le_bytes());
         region.write_nt(self.layout.write_ahead_off + 4, &buf);
         region.write_u64_nt(self.layout.status_off, LOG_WRITE_AHEAD);
+        buf.len() + 4
     }
 
     /// Marks the transaction fully written back (slot reusable).
@@ -284,17 +319,21 @@ impl LogSlot {
         let len = u32::from_le_bytes(lenb) as usize;
         let mut buf = vec![0u8; len];
         region.read_nt(self.layout.lock_ahead_off + 4, &mut buf);
-        decode_addrs(&buf)
+        decode_addrs(&mut Reader(&buf, 0))
     }
 
-    /// Recovery-side decode of the write-ahead updates.
-    pub fn read_write_ahead(&self, region: &Region) -> Vec<LoggedUpdate> {
+    /// Recovery-side decode of the write-ahead record (lock list plus
+    /// updates).
+    pub fn read_write_ahead(&self, region: &Region) -> WalRecord {
         let mut lenb = [0u8; 4];
         region.read_nt(self.layout.write_ahead_off, &mut lenb);
         let len = u32::from_le_bytes(lenb) as usize;
         let mut buf = vec![0u8; len];
         region.read_nt(self.layout.write_ahead_off + 4, &mut buf);
-        decode_updates(&buf)
+        let mut r = Reader(&buf, 0);
+        let locks = decode_addrs(&mut r);
+        let updates = decode_updates(&mut r);
+        WalRecord { locks, updates }
     }
 }
 
@@ -324,7 +363,8 @@ mod tests {
     fn lock_ahead_roundtrip() {
         let (region, slot) = slot();
         let recs = vec![rec(1, 4096), rec(3, 8192)];
-        slot.log_lock_ahead(&region, &recs);
+        let n = slot.log_lock_ahead(&region, &recs);
+        assert_eq!(n, 4 + 2 + 2 * 18, "length prefix + count + 2 addrs");
         assert_eq!(slot.read_status(&region), LOG_LOCK_AHEAD);
         assert_eq!(slot.read_lock_ahead(&region), recs);
         slot.log_done(&region);
@@ -334,19 +374,23 @@ mod tests {
     #[test]
     fn write_ahead_is_atomic_with_htm_commit() {
         let (region, slot) = slot();
+        let locks = vec![rec(2, 256), rec(4, 512)];
         let ups = vec![LoggedUpdate { rec: rec(2, 256), version: 7, value: b"abc".to_vec() }];
         // Aborted transaction: no write-ahead log appears (Figure 7(a)).
         let cfg = HtmConfig::default();
         let mut txn = region.begin(&cfg);
-        slot.log_write_ahead(&mut txn, &ups).unwrap();
+        slot.log_write_ahead(&mut txn, &locks, &ups).unwrap();
         drop(txn); // abort
         assert_eq!(slot.read_status(&region), LOG_EMPTY);
         // Committed transaction: log and status appear together.
         let mut txn = region.begin(&cfg);
-        slot.log_write_ahead(&mut txn, &ups).unwrap();
+        let n = slot.log_write_ahead(&mut txn, &locks, &ups).unwrap();
+        assert!(n > 0);
         txn.commit().unwrap();
         assert_eq!(slot.read_status(&region), LOG_WRITE_AHEAD);
-        assert_eq!(slot.read_write_ahead(&region), ups);
+        let wal = slot.read_write_ahead(&region);
+        assert_eq!(wal.locks, locks);
+        assert_eq!(wal.updates, ups);
     }
 
     #[test]
@@ -356,9 +400,15 @@ mod tests {
             LoggedUpdate { rec: rec(0, 128), version: 1, value: vec![9; 40] },
             LoggedUpdate { rec: rec(5, 640), version: 2, value: vec![] },
         ];
-        slot.log_write_ahead_nt(&region, &ups);
+        // The lock list may name records absent from the updates
+        // (declared-but-unwritten buffers) — they round-trip too.
+        let locks = vec![rec(0, 128), rec(5, 640), rec(7, 960)];
+        let n = slot.log_write_ahead_nt(&region, &locks, &ups);
+        assert!(n > 0);
         assert_eq!(slot.read_status(&region), LOG_WRITE_AHEAD);
-        assert_eq!(slot.read_write_ahead(&region), ups);
+        let wal = slot.read_write_ahead(&region);
+        assert_eq!(wal.locks, locks);
+        assert_eq!(wal.updates, ups);
     }
 
     #[test]
@@ -396,8 +446,10 @@ mod tests {
         assert!(slot.read_lock_ahead(&region).is_empty());
         let cfg = HtmConfig::default();
         let mut txn = region.begin(&cfg);
-        slot.log_write_ahead(&mut txn, &[]).unwrap();
+        slot.log_write_ahead(&mut txn, &[], &[]).unwrap();
         txn.commit().unwrap();
-        assert!(slot.read_write_ahead(&region).is_empty());
+        let wal = slot.read_write_ahead(&region);
+        assert!(wal.locks.is_empty());
+        assert!(wal.updates.is_empty());
     }
 }

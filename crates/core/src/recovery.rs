@@ -5,10 +5,16 @@
 //! log slots — reachable because the region itself is durable under
 //! flush-on-failure — and repairs cluster state:
 //!
-//! * **write-ahead log present** — the transaction committed its HTM
-//!   region, so it must *eventually commit*: redo every remote update
-//!   whose version has not landed yet, and release any exclusive lock
-//!   still held by the crashed machine (Figure 7(b)).
+//! * **write-ahead log present** — the transaction committed (its HTM
+//!   region XENDed, or the fallback handler persisted its WAL before
+//!   touching any record), so it must *eventually commit*: redo every
+//!   update whose version has not landed yet — local updates of a
+//!   fallback transaction are logged with real versions and redone
+//!   here too — then release every lock the WAL's embedded lock list
+//!   says the crashed machine could still hold (Figure 7(b)). The
+//!   lock pass is idempotent over the redo pass: a write-back fuses
+//!   apply+unlock, so it only fires for declared-but-unwritten
+//!   records and fallback locks the apply loop never reached.
 //! * **only lock-ahead log present** — the transaction did not commit:
 //!   release every remote record still exclusively locked by the crashed
 //!   machine (Figure 7(a)); versions prove no update was applied.
@@ -128,7 +134,8 @@ pub fn recover_node(
         match claimed {
             Some(LOG_WRITE_AHEAD) => {
                 report.redone_txns += 1;
-                for u in slot.read_write_ahead(region) {
+                let wal = slot.read_write_ahead(region);
+                for u in &wal.updates {
                     let cur = read_version(&u.rec);
                     // Versions increase monotonically; wrapping_sub keeps
                     // the comparison valid across u32 wrap.
@@ -142,6 +149,13 @@ pub fn recover_node(
                         record::remote_write_back(&qp, &u.rec, u.version, &u.value);
                         report.redone_updates += 1;
                     }
+                }
+                // Sweep the WAL's lock list: anything the redo pass did
+                // not clear (declared-but-unwritten buffers, fallback
+                // locks between the WAL and the apply loop) is released
+                // here, exactly once.
+                for rec in &wal.locks {
+                    release_if_owned(rec, &mut report);
                 }
                 slot.log_done(region);
             }

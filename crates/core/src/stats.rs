@@ -13,6 +13,9 @@ pub struct TxnStats {
     ro_committed: AtomicU64,
     ro_retries: AtomicU64,
     peer_dead_aborts: AtomicU64,
+    log_writes: AtomicU64,
+    log_bytes: AtomicU64,
+    log_done_waits: AtomicU64,
 }
 
 /// Point-in-time copy of [`TxnStats`].
@@ -35,6 +38,14 @@ pub struct TxnStatsSnapshot {
     /// Transactions aborted because a peer machine was crashed (or a
     /// fabric op timed out); retriable only after recovery.
     pub peer_dead_aborts: u64,
+    /// Durability-log records persisted (lock-ahead, write-ahead, or
+    /// chop). Zero on the read-only path even with logging enabled —
+    /// the invariant the RO tests assert by counter.
+    pub log_writes: u64,
+    /// Payload bytes of those log records.
+    pub log_bytes: u64,
+    /// `log_done` completion markers a committing worker waited on.
+    pub log_done_waits: u64,
 }
 
 impl TxnStats {
@@ -74,6 +85,15 @@ impl TxnStats {
         self.peer_dead_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_log_write(&self, bytes: usize) {
+        self.log_writes.fetch_add(1, Ordering::Relaxed);
+        self.log_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_log_done_wait(&self) {
+        self.log_done_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> TxnStatsSnapshot {
         TxnStatsSnapshot {
@@ -85,6 +105,9 @@ impl TxnStats {
             ro_committed: self.ro_committed.load(Ordering::Relaxed),
             ro_retries: self.ro_retries.load(Ordering::Relaxed),
             peer_dead_aborts: self.peer_dead_aborts.load(Ordering::Relaxed),
+            log_writes: self.log_writes.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            log_done_waits: self.log_done_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -98,6 +121,9 @@ impl TxnStats {
         self.ro_committed.store(0, Ordering::Relaxed);
         self.ro_retries.store(0, Ordering::Relaxed);
         self.peer_dead_aborts.store(0, Ordering::Relaxed);
+        self.log_writes.store(0, Ordering::Relaxed);
+        self.log_bytes.store(0, Ordering::Relaxed);
+        self.log_done_waits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -116,6 +142,9 @@ mod tests {
         s.add_ro_committed();
         s.add_ro_retry();
         s.add_peer_dead_abort();
+        s.add_log_write(48);
+        s.add_log_write(16);
+        s.add_log_done_wait();
         let snap = s.snapshot();
         assert_eq!(snap.committed, 2);
         assert_eq!(snap.fallback_committed, 1);
@@ -125,6 +154,9 @@ mod tests {
         assert_eq!(snap.ro_committed, 1);
         assert_eq!(snap.ro_retries, 1);
         assert_eq!(snap.peer_dead_aborts, 1);
+        assert_eq!(snap.log_writes, 2);
+        assert_eq!(snap.log_bytes, 64);
+        assert_eq!(snap.log_done_waits, 1);
         s.reset();
         assert_eq!(s.snapshot(), TxnStatsSnapshot::default());
     }

@@ -546,6 +546,9 @@ fn txn_since(a: &TxnStatsSnapshot, b: &TxnStatsSnapshot) -> TxnStatsSnapshot {
         ro_committed: a.ro_committed - b.ro_committed,
         ro_retries: a.ro_retries - b.ro_retries,
         peer_dead_aborts: a.peer_dead_aborts - b.peer_dead_aborts,
+        log_writes: a.log_writes - b.log_writes,
+        log_bytes: a.log_bytes - b.log_bytes,
+        log_done_waits: a.log_done_waits - b.log_done_waits,
     }
 }
 

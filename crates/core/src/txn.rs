@@ -20,8 +20,13 @@
 //! driver switches to the **fallback handler** (§6.2): it releases all
 //! held locks, re-acquires locks for *every* record — local ones too —
 //! in a global `(node, offset)` order (waiting, which is deadlock-free
-//! under a total order), confirms leases, runs the body against buffered
-//! state, and applies updates non-transactionally under those locks.
+//! under a total order), confirms leases, and runs the body against
+//! buffered state. Its commit pipeline obeys strict
+//! log-persist-before-unlock ordering (the HTPM recipe): the WAL —
+//! carrying local *and* remote updates plus the full lock list — is
+//! persisted before any update becomes visible or any lock is released,
+//! so a crash anywhere in the pipeline either rolls back cleanly or
+//! redoes to the exact committed state.
 
 use std::sync::Arc;
 
@@ -248,6 +253,7 @@ impl Worker {
     pub fn log_chop(&self, info: crate::log::ChopInfo) {
         if self.sys.cfg.logging {
             self.log.log_chop(self.region(), info);
+            self.sys.stats.add_log_write(8);
         }
     }
 
@@ -366,6 +372,7 @@ impl Worker {
                 // no longer needs replaying.
                 if self.sys.cfg.logging {
                     self.log.log_done(&self.region().clone());
+                    self.sys.stats.add_log_done_wait();
                 }
                 Ok(())
             }
@@ -485,7 +492,8 @@ impl Worker {
             let now = softtime_nt(&region);
             let end = now + self.sys.cfg.lease_us;
             if logging && !spec.remote_writes.is_empty() {
-                self.log.log_lock_ahead(&region, &spec.remote_writes);
+                let n = self.log.log_lock_ahead(&region, &spec.remote_writes);
+                self.sys.stats.add_log_write(n);
             }
             if self.crashes_at(CrashPoint::AfterLockAhead) {
                 return Err(TxnError::SimulatedCrash);
@@ -721,12 +729,21 @@ impl Worker {
             })
             .collect();
         updates.extend(local_log);
+        // The WAL embeds the remote-write lock list so recovery can
+        // release declared-but-unwritten locks from the log alone.
+        let mut wal_staged = false;
         if self.sys.cfg.logging && !updates.is_empty() {
-            if let Err(a) = self.log.log_write_ahead(&mut txn, &updates) {
-                self.trace_abort(txn_id, Phase::Commit, AbortCause::from_htm(a), None);
-                self.sys.htm_stats().record_abort(a);
-                undo(allocs);
-                return HtmAttempt::Retry;
+            match self.log.log_write_ahead(&mut txn, &spec.remote_writes, &updates) {
+                Ok(n) => {
+                    self.sys.stats.add_log_write(n);
+                    wal_staged = true;
+                }
+                Err(a) => {
+                    self.trace_abort(txn_id, Phase::Commit, AbortCause::from_htm(a), None);
+                    self.sys.htm_stats().record_abort(a);
+                    undo(allocs);
+                    return HtmAttempt::Retry;
+                }
             }
         }
         if self.crashes_at(CrashPoint::BeforeHtmCommit) {
@@ -787,8 +804,13 @@ impl Worker {
             // must replay the log and skip every already-applied update.
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
-        if self.sys.cfg.logging && !parked {
+        // Reclaim the slot only when a log record is actually live
+        // (a staged WAL, or the Start phase's lock-ahead): transactions
+        // that never touched the log — notably read-only shapes — pay
+        // no completion marker either.
+        if self.sys.cfg.logging && !parked && (wal_staged || !spec.remote_writes.is_empty()) {
             self.log.log_done(region);
+            self.sys.stats.add_log_done_wait();
         }
         self.sys.stats.add_committed(false);
         HtmAttempt::Committed(value)
@@ -835,6 +857,12 @@ impl Worker {
             items.push(Item { rec: *r, write: false, idx: i, local: false });
         }
         items.sort_by_key(|it| (it.rec.addr.node, it.rec.addr.offset));
+        // The fallback's lock-ahead names the FULL write set (local and
+        // remote, in acquisition order): unlike the HTM path, local
+        // records are CPU/loopback-locked here too, and recovery must be
+        // able to release them if this machine dies before the WAL.
+        let fb_write_set: Vec<RecordAddr> =
+            items.iter().filter(|it| it.write).map(|it| it.rec).collect();
 
         'retry: loop {
             if self.self_crashed() {
@@ -842,8 +870,9 @@ impl Worker {
             }
             let now = softtime_nt(&region);
             let end = now + cfg.lease_us;
-            if cfg.logging && !spec.remote_writes.is_empty() {
-                self.log.log_lock_ahead(&region, &spec.remote_writes);
+            if cfg.logging && !fb_write_set.is_empty() {
+                let n = self.log.log_lock_ahead(&region, &fb_write_set);
+                self.sys.stats.add_log_write(n);
             }
             if self.crashes_at(CrashPoint::FallbackAfterLockAhead) {
                 return Err(TxnError::SimulatedCrash);
@@ -997,15 +1026,25 @@ impl Worker {
                 }
                 Ok(value) => {
                     let out = ctx.finish_fallback();
-                    // Log ahead of updates (normal durability, §6.2).
-                    // Local updates survive via flush-on-failure NVRAM,
-                    // so only remote updates are logged (§4.6).
+                    if self.crashes_at(CrashPoint::FallbackBeforeWal) {
+                        // Every 2PL lock held, body run, nothing durable:
+                        // recovery rolls back from the lock-ahead record
+                        // (release all locks, touch no value).
+                        return Err(TxnError::SimulatedCrash);
+                    }
+                    // Stage the WAL — the commit point — strictly before
+                    // any update becomes visible and before any lock is
+                    // released (log-persist-before-unlock, the HTPM
+                    // ordering). Unlike the HTM path, *local* updates are
+                    // logged with their real versions: no XEND makes them
+                    // durable here, so redo is their only crash story.
+                    let mut wal_staged = false;
                     if cfg.logging {
-                        let updates: Vec<LoggedUpdate> = spec
-                            .remote_writes
+                        let mut updates: Vec<LoggedUpdate> = spec
+                            .local_writes
                             .iter()
-                            .zip(&w_fetched)
-                            .zip(&out.w_buf)
+                            .zip(&out.l_fetched_writes)
+                            .zip(&out.l_buf)
                             .filter_map(|((rec, f), buf)| {
                                 buf.as_ref().map(|value| LoggedUpdate {
                                     rec: *rec,
@@ -1014,12 +1053,33 @@ impl Worker {
                                 })
                             })
                             .collect();
-                        self.log.log_write_ahead_nt(&region, &updates);
+                        updates.extend(
+                            spec.remote_writes.iter().zip(&w_fetched).zip(&out.w_buf).filter_map(
+                                |((rec, f), buf)| {
+                                    buf.as_ref().map(|value| LoggedUpdate {
+                                        rec: *rec,
+                                        version: f.header.version.wrapping_add(1),
+                                        value: value.clone(),
+                                    })
+                                },
+                            ),
+                        );
+                        if !fb_write_set.is_empty() {
+                            let n = self.log.log_write_ahead_nt(&region, &fb_write_set, &updates);
+                            self.sys.stats.add_log_write(n);
+                            wal_staged = true;
+                        }
                     }
-                    if self.crashes_at(CrashPoint::FallbackAfterWriteAhead) {
+                    if self.crashes_at(CrashPoint::FallbackAfterWalBeforeApply) {
+                        // WAL persisted, nothing applied, every lock
+                        // held: recovery must redo every update.
                         return Err(TxnError::SimulatedCrash);
                     }
-                    // Apply local writes and unlock them.
+                    // Apply + unlock, locals first. Each write-back
+                    // fuses apply and unlock, so from here on recovery
+                    // sees a shrinking lock set: it skips applied
+                    // updates by version and releases the locks the WAL
+                    // says are still held.
                     for ((rec, f), buf) in
                         spec.local_writes.iter().zip(&out.l_fetched_writes).zip(&out.l_buf)
                     {
@@ -1034,11 +1094,15 @@ impl Worker {
                             ),
                             None => record::remote_unlock_via(&self.qp, rec, use_local),
                         }
+                        if self.crashes_at(CrashPoint::FallbackMidUnlock) {
+                            return Err(TxnError::SimulatedCrash);
+                        }
                     }
-                    // Apply remote write-backs and unlock. Past the
-                    // write-ahead log the transaction is committed, so a
-                    // dead target parks the update for `flush_pending`.
+                    // Then remote write-backs. Past the write-ahead log
+                    // the transaction is committed, so a dead target
+                    // parks the update for `flush_pending`.
                     let mut parked = false;
+                    let mut crash_mid = false;
                     for ((rec, f), buf) in spec.remote_writes.iter().zip(&w_fetched).zip(&out.w_buf)
                     {
                         let new_version = f.header.version.wrapping_add(1);
@@ -1055,10 +1119,19 @@ impl Worker {
                                 rec: *rec,
                                 update: buf.as_ref().map(|v| (new_version, v.clone())),
                             });
+                            continue;
+                        }
+                        if self.crashes_at(CrashPoint::FallbackMidUnlock) {
+                            crash_mid = true;
+                            break;
                         }
                     }
-                    if cfg.logging && !parked {
+                    if crash_mid {
+                        return Err(TxnError::SimulatedCrash);
+                    }
+                    if cfg.logging && wal_staged && !parked {
                         self.log.log_done(&region);
+                        self.sys.stats.add_log_done_wait();
                     }
                     fb_ops += (spec.local_writes.len() + spec.remote_writes.len()) as u64;
                     self.sys.stats.add_committed(true);
@@ -1199,12 +1272,20 @@ impl<'r> TxnCtx<'r> {
         let now = self.op_now()?;
         let delta = self.delta_us;
         let rec = self.spec.local_writes[i];
-        if self.logging {
-            self.local_log.push(LoggedUpdate { rec, version: 0, value: value.to_vec() });
-        }
         match &mut self.mode {
-            CtxMode::Htm(txn) => record::local_write(txn, rec.addr.offset, value, now, delta),
+            CtxMode::Htm(txn) => {
+                // HTM path: the XEND makes this store durable, so it is
+                // logged with version 0 — recovery's at-most-once check
+                // always sees it as already applied (§4.6).
+                if self.logging {
+                    self.local_log.push(LoggedUpdate { rec, version: 0, value: value.to_vec() });
+                }
+                record::local_write(txn, rec.addr.offset, value, now, delta)
+            }
             CtxMode::Fallback => {
+                // Fallback path: the buffered update is logged at commit
+                // time with its real version (log-before-unlock) — no
+                // per-op entry here.
                 self.l_buf[i] = Some(value.to_vec());
                 Ok(())
             }
@@ -1682,6 +1763,91 @@ mod tests {
         let again = crate::recovery::recover_node(h.sys.cluster(), 0, &layout, 1);
         assert_eq!(again.redone_txns, 0);
         assert_eq!(h.value(1, 0), 109);
+    }
+
+    #[test]
+    fn fallback_crash_after_wal_preserves_local_updates() {
+        // The former "known hole": a fallback transaction with a purely
+        // local update crashing between commit point and apply. The WAL
+        // is staged before anything becomes visible, so recovery redoes
+        // the local update from the log.
+        let mut cfg = DrTmConfig {
+            logging: true,
+            crash_point: Some(CrashPoint::FallbackAfterWalBeforeApply),
+            ..Default::default()
+        };
+        cfg.htm.max_retries = 0; // straight to the fallback handler
+        let h = harness(2, 1, 4, cfg);
+        let mut w = h.sys.worker(0, 0);
+        let spec = TxnSpec {
+            local_writes: vec![h.rec(0, 1)],
+            remote_writes: vec![h.rec(1, 0)],
+            ..Default::default()
+        };
+        let r: Result<(), _> = w.execute(&spec, |ctx| {
+            let v = vu64(&ctx.local_write_cur(0)?);
+            ctx.local_write(0, &u64v(v + 5))?;
+            let v = vu64(ctx.remote_write_cur(0));
+            ctx.remote_write(0, u64v(v + 9));
+            Ok(())
+        });
+        assert_eq!(r, Err(TxnError::SimulatedCrash));
+        assert_eq!(h.value(0, 1), 100, "nothing applied yet");
+        assert_eq!(h.value(1, 0), 100);
+        assert!(h.state_of(0, 1).is_write_locked(), "local 2PL lock still held");
+        assert!(h.state_of(1, 0).is_write_locked());
+        let layout = {
+            let mut arena = Arena::new(0, 16 << 20);
+            NodeLayout::reserve(&mut arena, 1)
+        };
+        let report = crate::recovery::recover_node(h.sys.cluster(), 0, &layout, 1);
+        assert_eq!(report.redone_txns, 1);
+        assert_eq!(report.redone_updates, 2);
+        assert_eq!(report.released_locks, 0, "write-backs release as they apply");
+        assert_eq!(h.value(0, 1), 105, "LOCAL update redone from the WAL");
+        assert_eq!(h.value(1, 0), 109);
+        assert!(h.state_of(0, 1).is_init());
+        assert!(h.state_of(1, 0).is_init());
+        // Idempotent: a second pass finds a clean slot.
+        let again = crate::recovery::recover_node(h.sys.cluster(), 0, &layout, 1);
+        assert_eq!(again, crate::recovery::RecoveryReport::default());
+    }
+
+    #[test]
+    fn fallback_crash_before_wal_rolls_back_and_releases_local_locks() {
+        // Strictly before the commit point nothing is durable: recovery
+        // must release every 2PL lock — including the CPU-locked local
+        // record the old lock-ahead (remote-only) could never name.
+        let mut cfg = DrTmConfig {
+            logging: true,
+            crash_point: Some(CrashPoint::FallbackBeforeWal),
+            ..Default::default()
+        };
+        cfg.htm.max_retries = 0;
+        let h = harness(2, 1, 4, cfg);
+        let mut w = h.sys.worker(0, 0);
+        let spec = TxnSpec {
+            local_writes: vec![h.rec(0, 1)],
+            remote_writes: vec![h.rec(1, 0)],
+            ..Default::default()
+        };
+        let r: Result<(), _> = w.execute(&spec, |ctx| {
+            ctx.local_write(0, &u64v(1))?;
+            ctx.remote_write(0, u64v(2));
+            Ok(())
+        });
+        assert_eq!(r, Err(TxnError::SimulatedCrash));
+        let layout = {
+            let mut arena = Arena::new(0, 16 << 20);
+            NodeLayout::reserve(&mut arena, 1)
+        };
+        let report = crate::recovery::recover_node(h.sys.cluster(), 0, &layout, 1);
+        assert_eq!(report.rolled_back_txns, 1);
+        assert_eq!(report.released_locks, 2, "local + remote lock released");
+        assert_eq!(h.value(0, 1), 100, "rolled back: no value moved");
+        assert_eq!(h.value(1, 0), 100);
+        assert!(h.state_of(0, 1).is_init());
+        assert!(h.state_of(1, 0).is_init());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! The paper's §4.6 durability design is only validated by failures that
 //! land *between* protocol steps — after the lock-ahead log but before
 //! the remote locks, between remote update *k* and *k + 1*, before lock
-//! release. A [`FaultPlan`] hangs off every [`crate::Cluster`] and gives
-//! tests and benches three levers:
+//! release; likewise the fallback handler's log-before-unlock pipeline
+//! (locks held but WAL unstaged, WAL staged but nothing applied, locks
+//! half-released). A [`FaultPlan`] hangs off every [`crate::Cluster`]
+//! and gives tests and benches three levers:
 //!
 //! * **Crash points** — protocol code calls [`FaultPlan::crash_hook`]
 //!   with a site label at each step; an armed `(node, site)` pair kills

@@ -293,7 +293,23 @@ impl TpccWorker {
     }
 
     /// OS: read-only status of a customer's most recent order.
+    ///
+    /// A peer death mid-scan is tolerated: the transaction aborts typed
+    /// inside [`TpccWorker::try_order_status`] and the mix moves on —
+    /// order-status is a query, so there is nothing to repair.
     pub fn order_status(&mut self) -> &'static str {
+        match self.try_order_status() {
+            Ok(_) | Err(TxnError::PeerDead(_)) | Err(TxnError::SimulatedCrash) => {}
+            Err(e) => panic!("unexpected order-status failure: {e:?}"),
+        }
+        "order_status"
+    }
+
+    /// [`TpccWorker::order_status`] with typed dead-peer reporting:
+    /// returns the order's total, or [`TxnError::PeerDead`] /
+    /// [`TxnError::SimulatedCrash`] under the chaos harness instead of
+    /// panicking.
+    pub fn try_order_status(&mut self) -> Result<u64, TxnError> {
         let cfg = self.t.cfg.clone();
         let w = self.home_w;
         let node = self.w.node;
@@ -303,7 +319,7 @@ impl TpccWorker {
         let co_idx = self.t.cust_order_idx[node as usize].clone();
         let t = self.t.clone();
         let (lo, hi) = keys::cust_order_range(w, d, c);
-        self.w.read_only(|ctx| {
+        self.w.try_read_only(|ctx| {
             let _cust = ctx.acquire(&cust_rec)?;
             let Some((_, o_id)) = ctx.tree_max_in_range(&co_idx, lo, hi) else {
                 return Ok(0u64);
@@ -324,8 +340,7 @@ impl TpccWorker {
                 }
             }
             Ok(total)
-        });
-        "order_status"
+        })
     }
 
     /// DLY: deliver the oldest undelivered order of each district —

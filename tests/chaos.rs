@@ -125,13 +125,19 @@ fn expected_report(p: CrashPoint) -> RecoveryReport {
             r.rolled_back_txns = 1;
             r.released_locks = 2;
         }
+        // Fallback, 2PL locks held, WAL not yet staged: roll back and
+        // release both locks — values untouched.
+        CrashPoint::FallbackBeforeWal => {
+            r.rolled_back_txns = 1;
+            r.released_locks = 2;
+        }
         // Committed, nothing written back: redo both updates.
-        CrashPoint::AfterHtmCommit | CrashPoint::FallbackAfterWriteAhead => {
+        CrashPoint::AfterHtmCommit | CrashPoint::FallbackAfterWalBeforeApply => {
             r.redone_txns = 1;
             r.redone_updates = 2;
         }
         // One update landed before the crash: redo one, skip one.
-        CrashPoint::MidWriteBack => {
+        CrashPoint::MidWriteBack | CrashPoint::FallbackMidUnlock => {
             r.redone_txns = 1;
             r.redone_updates = 1;
             r.skipped_updates = 1;
@@ -145,18 +151,23 @@ fn expected_report(p: CrashPoint) -> RecoveryReport {
     r
 }
 
+fn is_fallback_point(p: CrashPoint) -> bool {
+    matches!(
+        p,
+        CrashPoint::FallbackAfterLockAhead
+            | CrashPoint::FallbackBeforeWal
+            | CrashPoint::FallbackAfterWalBeforeApply
+            | CrashPoint::FallbackMidUnlock
+    )
+}
+
 /// Runs the canonical transaction from machine 0 with a fault-plan crash
 /// armed at `p`, recovers via machine 1, and returns fixture + report.
 fn crash_and_recover(p: CrashPoint) -> (Fixture, RecoveryReport) {
     // Fallback crash points are reachable only through the fallback
     // handler: give the HTM path zero retries so every transaction
     // degrades to 2PL.
-    let retries =
-        if matches!(p, CrashPoint::FallbackAfterLockAhead | CrashPoint::FallbackAfterWriteAhead) {
-            Some(0)
-        } else {
-            None
-        };
+    let retries = if is_fallback_point(p) { Some(0) } else { None };
     let f = fixture(FaultConfig::default(), retries);
     let mut w = f.sys.worker(0, 0);
     let r1 = f.accounts.resolve(&w, 1, 3).unwrap();
@@ -213,6 +224,113 @@ fn crash_matrix_every_point_recovers_to_the_exact_report() {
         })
         .unwrap();
         assert_eq!(value(&f, 2, 5), want + 1, "{p:?}: cluster unusable after revival");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fallback pipeline with LOCAL updates: the former durability hole.
+// ---------------------------------------------------------------------
+
+/// The exact recovery report each fallback crash point must produce for
+/// a mixed transaction: one local write (machine 0, key 1) plus two
+/// remote writes (machine 1 key 3, machine 2 key 5), all `+7`.
+fn expected_fallback_report(p: CrashPoint) -> RecoveryReport {
+    let mut r = RecoveryReport::default();
+    match p {
+        // Intent logged; no lock of any kind taken yet.
+        CrashPoint::FallbackAfterLockAhead => r.rolled_back_txns = 1,
+        // All three 2PL locks held (the local one via CPU/loopback CAS),
+        // WAL not staged: roll back, release all three.
+        CrashPoint::FallbackBeforeWal => {
+            r.rolled_back_txns = 1;
+            r.released_locks = 3;
+        }
+        // WAL staged (the commit point), nothing applied: redo all
+        // three updates — the local one from the log, exactly what the
+        // old remote-only WAL could not do.
+        CrashPoint::FallbackAfterWalBeforeApply => {
+            r.redone_txns = 1;
+            r.redone_updates = 3;
+        }
+        // Locals apply first: the local update landed (apply+unlock
+        // fused), both remotes still locked and unapplied.
+        CrashPoint::FallbackMidUnlock => {
+            r.redone_txns = 1;
+            r.redone_updates = 2;
+            r.skipped_updates = 1;
+        }
+        _ => unreachable!("not a fallback crash point: {p:?}"),
+    }
+    r
+}
+
+/// Runs the mixed local+remote transaction from machine 0 with a crash
+/// armed at fallback point `p`, recovers via machine 1.
+fn fallback_crash_and_recover(p: CrashPoint) -> (Fixture, RecoveryReport) {
+    let f = fixture(FaultConfig::default(), Some(0));
+    let mut w = f.sys.worker(0, 0);
+    let l = f.accounts.resolve(&w, 0, 1).unwrap();
+    let r1 = f.accounts.resolve(&w, 1, 3).unwrap();
+    let r2 = f.accounts.resolve(&w, 2, 5).unwrap();
+    f.sys.cluster().faults().arm_crash(0, p.name());
+    let spec = TxnSpec { local_writes: vec![l], remote_writes: vec![r1, r2], ..Default::default() };
+    let r: Result<(), _> = w.execute(&spec, |ctx| {
+        let v = u64::from_le_bytes(ctx.local_write_cur(0)?[..8].try_into().unwrap());
+        ctx.local_write(0, &(v + 7).to_le_bytes())?;
+        for i in 0..2 {
+            let v = u64::from_le_bytes(ctx.remote_write_cur(i)[..8].try_into().unwrap());
+            ctx.remote_write(i, (v + 7).to_le_bytes().to_vec());
+        }
+        Ok(())
+    });
+    assert_eq!(r, Err(TxnError::SimulatedCrash), "armed crash at {p:?} must fire");
+    let report = recover_node(f.sys.cluster(), 0, &f.layout, 1);
+    (f, report)
+}
+
+#[test]
+fn fallback_pipeline_crash_points_recover_local_and_remote_updates() {
+    // No carve-out: every fallback crash point is exercised with a
+    // transaction that has a purely local update in its write set — the
+    // case the pre-log-before-unlock pipeline could lose.
+    for p in CrashPoint::ALL.into_iter().filter(|&p| is_fallback_point(p)) {
+        let (f, report) = fallback_crash_and_recover(p);
+        assert_eq!(report, expected_fallback_report(p), "report mismatch at {p:?}");
+        let want = if p.is_committed() { 107 } else { 100 };
+        for (n, k) in [(0u16, 1u64), (1, 3), (2, 5)] {
+            assert_eq!(value(&f, n, k), want, "{p:?}: wrong value on node {n} key {k}");
+            assert!(state(&f, n, k).is_init(), "{p:?}: lock leaked on node {n} key {k}");
+        }
+        assert_no_leaked_locks(&f);
+        // Conservation: the crash+recovery touched nothing else.
+        let total: u64 = (0..3u16)
+            .flat_map(|n| (0..8u64).map(move |k| (n, k)))
+            .map(|(n, k)| value(&f, n, k))
+            .sum();
+        let delta = if p.is_committed() { 3 * 7 } else { 0 };
+        assert_eq!(total, 24 * 100 + delta, "{p:?}: conservation violated");
+
+        // Determinism: replaying the same run yields the same report.
+        let (f2, replay) = fallback_crash_and_recover(p);
+        assert_eq!(replay, report, "{p:?}: replay diverged");
+        assert_eq!(value(&f2, 0, 1), value(&f, 0, 1));
+
+        // A second recovery pass finds nothing left to do.
+        let again = recover_node(f.sys.cluster(), 0, &f.layout, 2);
+        assert_eq!(again, RecoveryReport::default(), "{p:?}: recovery not idempotent");
+
+        // The revived machine transacts immediately — including on the
+        // local record the crashed fallback held.
+        f.sys.cluster().faults().revive(0);
+        let mut w = f.sys.worker(0, 0);
+        let rec = f.accounts.resolve(&w, 0, 1).unwrap();
+        let spec = TxnSpec { local_writes: vec![rec], ..Default::default() };
+        w.execute(&spec, |ctx| {
+            let v = u64::from_le_bytes(ctx.local_write_cur(0)?[..8].try_into().unwrap());
+            ctx.local_write(0, &(v + 1).to_le_bytes())
+        })
+        .unwrap();
+        assert_eq!(value(&f, 0, 1), want + 1, "{p:?}: node unusable after revival");
     }
 }
 
@@ -280,7 +398,7 @@ fn fallback_waiters_escape_a_dead_lock_owner() {
         let f = fixture(FaultConfig::default(), Some(0));
         let mut w = f.sys.worker(0, 0);
         let rec = f.accounts.resolve(&w, 1, 6).unwrap();
-        f.sys.cluster().faults().arm_crash(0, CrashPoint::FallbackAfterWriteAhead.name());
+        f.sys.cluster().faults().arm_crash(0, CrashPoint::FallbackAfterWalBeforeApply.name());
         let spec = TxnSpec { remote_writes: vec![rec], ..Default::default() };
         let r: Result<(), _> = w.execute(&spec, |ctx| {
             let v = u64::from_le_bytes(ctx.remote_write_cur(0)[..8].try_into().unwrap());
