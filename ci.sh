@@ -13,7 +13,12 @@
 # finite, throughput positive), then diffs them against the committed
 # repo-root baselines with check_bench_json --diff (>10% throughput
 # regression fails; smoke-scale runs skip the throughput comparison but
-# still exercise the diff path). See EXPERIMENTS.md for the schema.
+# still exercise the diff path). fig12's scale-out segment runs at
+# 16 machines x 32 workers — 512 logical workers, feasible only because
+# the pipelined engine multiplexes them onto a small OS thread pool —
+# and check_bench_json validates the doorbell-batching fields
+# (extra.rdma_ops_per_doorbell > 1.0, batched per-op cost below
+# unbatched). See EXPERIMENTS.md for the schema.
 #
 # With --chaos-smoke, additionally runs the deterministic chaos matrix
 # (tests/chaos.rs) at minimum scale — including the fallback
@@ -58,11 +63,14 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   SCRATCH_DIRS+=("$SMOKE_OUT")
   DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p drtm-bench --bench fig10d_cache_size
-  DRTM_SCALE=0.01 DRTM_BENCH_OUT="$SMOKE_OUT" \
+  DRTM_SCALE=0.01 DRTM_FIG12_SCALEOUT_NODES=16 DRTM_FIG12_SCALEOUT_WORKERS=32 \
+    DRTM_BENCH_OUT="$SMOKE_OUT" \
     cargo bench -q -p drtm-bench --bench fig12_tpcc_machines
   echo "== bench smoke: validate emitted JSON + diff vs committed baselines =="
   cargo run -q --release -p drtm-bench --bin check_bench_json -- \
     --diff . "$SMOKE_OUT"/BENCH_*.json
+  grep -q '"rdma_ops_per_doorbell"' "$SMOKE_OUT"/BENCH_fig12_tpcc_machines.json \
+    || { echo "fig12 ledger missing rdma_ops_per_doorbell" >&2; exit 1; }
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

@@ -1,10 +1,14 @@
 //! Figure 12: TPC-C throughput with increasing machine count, DrTM vs
-//! the Calvin baseline (new-order and standard-mix).
+//! the Calvin baseline (new-order and standard-mix), plus a scale-out
+//! segment far past the paper's 6 machines: the pipelined engine drives
+//! hundreds of logical workers on a small OS thread pool, with doorbell
+//! batching measured on vs off.
 
 use drtm_bench::report::{causes_of, rdma_ops_per_txn, BenchReport};
 use drtm_bench::runners::{calvin_run, tpcc_run_with};
 use drtm_bench::{banner, diagnostics, mops, row, scaled};
 use drtm_calvin::{Calvin, CalvinConfig};
+use drtm_rdma::DoorbellConfig;
 use drtm_workloads::tpcc::TpccConfig;
 
 fn drtm_cfg(nodes: usize) -> TpccConfig {
@@ -15,6 +19,25 @@ fn drtm_cfg(nodes: usize) -> TpccConfig {
         items: 1_000,
         max_new_orders_per_node: 8 * 2_000,
         region_size: 160 << 20,
+        ..Default::default()
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Reduced per-warehouse sizing so a 64-node cluster fits comfortably
+/// in memory (fig14-style), at `nodes × workers` logical workers.
+fn scaleout_cfg(nodes: usize, workers: usize, iters: u64, doorbell: DoorbellConfig) -> TpccConfig {
+    TpccConfig {
+        nodes,
+        workers,
+        customers_per_district: 20,
+        items: 400,
+        max_new_orders_per_node: (workers as u64 * iters * 2) as usize,
+        region_size: 64 << 20,
+        doorbell,
         ..Default::default()
     }
 }
@@ -74,6 +97,62 @@ fn main() {
     assert!(last_ratio > 5.0, "DrTM must clearly outperform Calvin (paper: 17.9-21.9x)");
     println!("(paper: DrTM 3.67M std-mix on 6 machines; >=17.9x over Calvin)");
     json.push_extra("calvin_speedup_x", last_ratio);
+
+    // Scale-out segment: the paper stops at 6 machines; the pipelined
+    // engine runs 64 (logical workers ≫ OS threads), once with doorbell
+    // batching off and once on, so the ledger records the per-op
+    // virtual cost drop batching buys.
+    let so_nodes = env_usize("DRTM_FIG12_SCALEOUT_NODES", 64);
+    let so_workers = env_usize("DRTM_FIG12_SCALEOUT_WORKERS", 8);
+    let so_iters = scaled(40, 12);
+    let so_warmup = so_iters / 4;
+    banner("fig12+", &format!("scale-out: {so_nodes} machines x {so_workers} workers"));
+    row(&["batching".into(), "std-mix".into(), "op cost".into(), "ops/doorbell".into()]);
+    let mut op_cost = [0.0f64; 2];
+    for (arm, doorbell) in [(0, DoorbellConfig::disabled()), (1, DoorbellConfig::default())] {
+        let batch_size = doorbell.max_batch;
+        let flush_ns = doorbell.flush_deadline_ns;
+        let (rep, diag) = tpcc_run_with(
+            scaleout_cfg(so_nodes, so_workers, so_iters, doorbell),
+            so_iters,
+            so_warmup,
+        );
+        let logical = rep.workers.len();
+        assert!(
+            logical >= 8 * rep.os_threads,
+            "scale-out must multiplex: {logical} logical workers on {} OS threads",
+            rep.os_threads
+        );
+        op_cost[arm] = diag.rdma.avg_op_cost_ns();
+        let ratio = diag.rdma.ops_per_doorbell();
+        row(&[
+            if arm == 0 { "off".into() } else { format!("{batch_size}-deep") },
+            mops(rep.throughput()),
+            format!("{:.0} ns", op_cost[arm]),
+            format!("{ratio:.2}"),
+        ]);
+        if arm == 0 {
+            json.push_extra("rdma_op_cost_unbatched_ns", op_cost[0]);
+            json.push_extra("scaleout_std_mix_unbatched_mops", rep.throughput() / 1e6);
+        } else {
+            assert!(ratio > 1.0, "batching on must post >1 op per doorbell (got {ratio})");
+            json.push_extra("rdma_op_cost_batched_ns", op_cost[1]);
+            json.push_extra("scaleout_std_mix_batched_mops", rep.throughput() / 1e6);
+            json.push_extra("rdma_ops_per_doorbell", ratio);
+            json.push_extra("rdma_batch_size", batch_size as f64);
+            json.push_extra("rdma_batch_flush_ns", flush_ns as f64);
+            json.push_extra("engine_os_threads", rep.os_threads as f64);
+            json.push_extra("engine_logical_workers", logical as f64);
+        }
+    }
+    assert!(
+        op_cost[1] < op_cost[0],
+        "batching must lower per-op virtual cost ({} vs {} ns)",
+        op_cost[1],
+        op_cost[0]
+    );
+    json.push_extra("scaleout_nodes", so_nodes as f64);
+
     json.wall_seconds = wall.elapsed().as_secs_f64();
     json.write();
 }

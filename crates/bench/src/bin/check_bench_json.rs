@@ -5,9 +5,12 @@
 //! directory (`DRTM_BENCH_OUT` or the repo root). A file fails if it
 //! does not parse, misses a required key, carries a non-numeric
 //! (`null` = NaN/inf at emission time) required value, reports
-//! zero/negative throughput or wall time, or claims a non-zero
-//! `extra.ro_log_bytes` — any of which means the harness produced
-//! garbage, not a slow result.
+//! zero/negative throughput or wall time, claims a non-zero
+//! `extra.ro_log_bytes`, records doorbell batching on
+//! (`extra.rdma_batch_size` > 1) without `extra.rdma_ops_per_doorbell`
+//! exceeding 1.0, or carries a batched/unbatched per-op cost pair where
+//! batching failed to lower the cost — any of which means the harness
+//! produced garbage, not a slow result.
 //!
 //! With `--diff BASELINE_DIR`, each checked file is also compared
 //! against the same-named file in `BASELINE_DIR`: a throughput drop of
@@ -65,6 +68,33 @@ fn check(path: &PathBuf) -> Result<(), String> {
     if let Some(bytes) = extra_of(&j, "ro_log_bytes") {
         if bytes != 0.0 {
             return Err(format!("extra.ro_log_bytes must be exactly 0 (got {bytes})"));
+        }
+    }
+    // Doorbell-batching claims: a ledger that says batching was on must
+    // show real batches (>1 op per doorbell ring) ...
+    if extra_of(&j, "rdma_batch_size").is_some_and(|b| b > 1.0) {
+        match extra_of(&j, "rdma_ops_per_doorbell") {
+            None => {
+                return Err("extra.rdma_batch_size > 1 requires extra.rdma_ops_per_doorbell".into())
+            }
+            Some(ratio) if ratio <= 1.0 => {
+                return Err(format!(
+                    "extra.rdma_ops_per_doorbell must exceed 1.0 when batching is on (got {ratio})"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    // ... and a batched-vs-unbatched cost pair must show batching
+    // actually lowering the per-op virtual cost.
+    if let (Some(batched), Some(unbatched)) =
+        (extra_of(&j, "rdma_op_cost_batched_ns"), extra_of(&j, "rdma_op_cost_unbatched_ns"))
+    {
+        if !(batched > 0.0 && unbatched > 0.0 && batched < unbatched) {
+            return Err(format!(
+                "batched per-op cost must be positive and below unbatched \
+                 (batched {batched} ns, unbatched {unbatched} ns)"
+            ));
         }
     }
     let tput = j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);

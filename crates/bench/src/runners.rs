@@ -7,7 +7,7 @@ use rand::Rng;
 use drtm_calvin::{Calvin, CalvinConfig, CalvinTxn};
 use drtm_core::StatsReport;
 use drtm_workloads::dist::rng;
-use drtm_workloads::driver::{run, run_diagnosed, Report};
+use drtm_workloads::driver::{run, run_diagnosed, run_diagnosed_dedicated, Report};
 use drtm_workloads::micro::{Micro, MicroConfig};
 use drtm_workloads::smallbank::{SmallBank, SmallBankConfig};
 use drtm_workloads::tpcc::{Tpcc, TpccConfig};
@@ -90,6 +90,10 @@ pub fn micro_run(cfg: MicroConfig, reads: usize, hotspot: bool, iters: u64, warm
 /// Like [`micro_run`], also returning the joined diagnostics report
 /// (the Start-phase conflict causes are the read-lease mechanism's
 /// direct signal).
+///
+/// Runs with a dedicated OS thread per worker: leases expire in wall
+/// time, so the lease signal needs all workers' waits genuinely
+/// overlapping (see `run_dedicated`).
 pub fn micro_run_with(
     cfg: MicroConfig,
     reads: usize,
@@ -101,7 +105,7 @@ pub fn micro_run_with(
     let workers = cfg.workers;
     let m = Arc::new(Micro::build(cfg));
     let m2 = m.clone();
-    run_diagnosed(
+    run_diagnosed_dedicated(
         &m.sys,
         nodes,
         workers,

@@ -141,6 +141,9 @@ impl Worker {
             if self.self_crashed_pub() {
                 return Err(TxnError::SimulatedCrash);
             }
+            // Each attempt is a fresh posting wave: the previous
+            // attempt's confirmation was a completion wait.
+            self.qp().doorbell_flush();
             let now = softtime_nt(&region);
             let cfg = self.system().config();
             let mut ctx = RoCtx {
@@ -176,8 +179,9 @@ impl Worker {
 
     /// Convenience wrapper: read a fixed, pre-resolved record set.
     ///
-    /// The lease CASes and fetches are posted together, so the exposed
-    /// latency is doorbell-batched like the Start phase.
+    /// The lease CASes and fetches are posted together, so the QP's
+    /// doorbell batching amortises their base latency per destination
+    /// like the Start phase.
     pub fn read_only_records(&mut self, recs: &[RecordAddr]) -> Vec<Vec<u8>> {
         self.try_read_only_records(recs).expect("read-only transaction hit a crashed peer")
     }
@@ -185,12 +189,7 @@ impl Worker {
     /// [`Worker::read_only_records`] with typed dead-peer reporting.
     pub fn try_read_only_records(&mut self, recs: &[RecordAddr]) -> Result<Vec<Vec<u8>>, TxnError> {
         let recs = recs.to_vec();
-        self.try_read_only(move |ctx| {
-            let (out, spent) =
-                drtm_htm::vtime::measure(|| recs.iter().map(|r| ctx.acquire(r)).collect());
-            drtm_htm::vtime::doorbell_batch(spent, recs.len());
-            out
-        })
+        self.try_read_only(move |ctx| recs.iter().map(|r| ctx.acquire(r)).collect())
     }
 
     fn ro_backoff(&mut self) {

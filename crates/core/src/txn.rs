@@ -411,12 +411,26 @@ impl Worker {
             // stay as short in wall time as on real hardware.
             std::thread::yield_now();
         } else {
-            // Longer waits (a lease that must expire, a held lock): sleep
-            // a fixed slice and charge it, so the virtual cost of waiting
-            // tracks the wall duration of the wait instead of the
-            // scheduler-dependent number of retry iterations.
+            // Longer waits (a lease that must expire, a held lock): wait
+            // one fixed wall slice per attempt and charge exactly that
+            // slice, so the virtual cost of waiting tracks the wall
+            // duration of the wait instead of the scheduler-dependent
+            // number of retry iterations. A cooperative engine thread
+            // yields through the slice instead of sleeping, so sibling
+            // pool threads (possibly running the conflicting logical
+            // worker) get the quantum — but the slice must still elapse
+            // in wall time, or lease-expiry waits degenerate into
+            // thousands of instant retries that each charge a full
+            // slice.
             const SLICE_US: u64 = 100;
-            std::thread::sleep(std::time::Duration::from_micros(SLICE_US));
+            if drtm_htm::coop::enabled() {
+                let t0 = std::time::Instant::now();
+                while t0.elapsed().as_micros() < SLICE_US as u128 {
+                    std::thread::yield_now();
+                }
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(SLICE_US));
+            }
             vtime::charge(SLICE_US * 1_000);
         }
     }
@@ -471,6 +485,9 @@ impl Worker {
         );
         let region = self.region().clone();
         let logging = self.sys.cfg.logging;
+        // A transaction boundary is a completion wait: ops from the
+        // previous transaction cannot share a doorbell with this one.
+        self.qp.doorbell_flush();
         // The log slot still carries the previous transaction's
         // write-ahead record while write-backs to a dead peer are
         // parked; it must be drained before the slot can be reused.
@@ -763,13 +780,13 @@ impl Worker {
         if self.crashes_at(CrashPoint::AfterHtmCommit) {
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);
         }
-        // Write-backs + unlocks (posted together, doorbell-batched).
+        // Write-backs + unlocks, posted together — the QP's doorbell
+        // batching amortises their base latency per destination.
         // Past XEND the transaction IS committed: a dead peer can no
         // longer abort it, so undeliverable ops are parked for
         // `flush_pending` and the write-ahead log is kept for redo.
         let mut crash_mid = false;
         let mut parked = false;
-        let wb_t0 = vtime::read();
         for ((rec, f), buf) in spec.remote_writes.iter().zip(w_fetched).zip(&w_buf) {
             let new_version = f.header.version.wrapping_add(1);
             let r = match buf {
@@ -793,8 +810,6 @@ impl Worker {
                 break;
             }
         }
-        let spent = vtime::read().saturating_sub(wb_t0);
-        vtime::doorbell_batch(spent, spec.remote_writes.len());
         commit_t.ops += spec.remote_writes.len() as u64;
         if crash_mid {
             return HtmAttempt::Terminal(TxnError::SimulatedCrash);

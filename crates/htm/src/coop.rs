@@ -1,0 +1,44 @@
+//! Cooperative-scheduling flag for the pipelined execution engine.
+//!
+//! The benchmark driver multiplexes many logical workers onto a small
+//! OS thread pool; a pool thread must never *sleep* on behalf of one
+//! logical worker while others wait in the ready queue. Code that would
+//! block in wall time (backoff snoozes, lease waits) checks
+//! [`enabled`]: when set, it charges the wait to virtual time and
+//! yields the quantum instead of sleeping.
+//!
+//! The flag is per OS thread, set by the engine's pool threads via
+//! [`set`], and off by default so the thread-per-worker paths (unit
+//! tests, the chaos harness's own spawned threads) keep their wall-clock
+//! sleeping behaviour.
+
+use std::cell::Cell;
+
+thread_local! {
+    static COOP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current OS thread as (non-)cooperative.
+pub fn set(enabled: bool) {
+    COOP.with(|c| c.set(enabled));
+}
+
+/// Whether the current OS thread schedules cooperatively.
+pub fn enabled() -> bool {
+    COOP.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_and_per_thread() {
+        assert!(!enabled());
+        set(true);
+        assert!(enabled());
+        std::thread::spawn(|| assert!(!enabled())).join().unwrap();
+        set(false);
+        assert!(!enabled());
+    }
+}

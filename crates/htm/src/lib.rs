@@ -52,6 +52,7 @@
 //! ```
 
 pub mod backoff;
+pub mod coop;
 mod exec;
 mod region;
 mod stats;

@@ -17,6 +17,8 @@ pub struct OpCounters {
     faa: AtomicU64,
     sends: AtomicU64,
     send_bytes: AtomicU64,
+    doorbells: AtomicU64,
+    fabric_ns: AtomicU64,
 }
 
 /// Point-in-time copy of [`OpCounters`].
@@ -38,12 +40,41 @@ pub struct CounterSnapshot {
     pub sends: u64,
     /// Total bytes carried by SENDs.
     pub send_bytes: u64,
+    /// Doorbells rung: batches of outbound ops posted together. With
+    /// batching disabled this equals the op count (one ring per op).
+    pub doorbells: u64,
+    /// Total virtual nanoseconds charged for fabric operations (after
+    /// doorbell amortisation).
+    pub fabric_ns: u64,
 }
 
 impl CounterSnapshot {
     /// Total one-sided operations (READ + WRITE + CAS + FAA).
     pub fn one_sided(&self) -> u64 {
         self.reads + self.writes + self.cas + self.faa
+    }
+
+    /// All outbound fabric ops that ring or ride a doorbell.
+    pub fn fabric_ops(&self) -> u64 {
+        self.one_sided() + self.sends
+    }
+
+    /// Average ops per doorbell ring — exactly 1.0 with batching off,
+    /// climbing toward the configured batch size as phases post more
+    /// ops back-to-back.
+    pub fn ops_per_doorbell(&self) -> f64 {
+        if self.doorbells == 0 {
+            return 0.0;
+        }
+        self.fabric_ops() as f64 / self.doorbells as f64
+    }
+
+    /// Average charged virtual cost per fabric op, in ns.
+    pub fn avg_op_cost_ns(&self) -> f64 {
+        if self.fabric_ops() == 0 {
+            return 0.0;
+        }
+        self.fabric_ns as f64 / self.fabric_ops() as f64
     }
 
     /// Component-wise difference `self - earlier` (for measuring a window).
@@ -57,6 +88,8 @@ impl CounterSnapshot {
             faa: self.faa - earlier.faa,
             sends: self.sends - earlier.sends,
             send_bytes: self.send_bytes - earlier.send_bytes,
+            doorbells: self.doorbells - earlier.doorbells,
+            fabric_ns: self.fabric_ns - earlier.fabric_ns,
         }
     }
 }
@@ -90,6 +123,14 @@ impl OpCounters {
         self.send_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_doorbell(&self) {
+        self.doorbells.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fabric_ns(&self, ns: u64) {
+        self.fabric_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -101,6 +142,8 @@ impl OpCounters {
             faa: self.faa.load(Ordering::Relaxed),
             sends: self.sends.load(Ordering::Relaxed),
             send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            doorbells: self.doorbells.load(Ordering::Relaxed),
+            fabric_ns: self.fabric_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +157,8 @@ impl OpCounters {
         self.faa.store(0, Ordering::Relaxed);
         self.sends.store(0, Ordering::Relaxed);
         self.send_bytes.store(0, Ordering::Relaxed);
+        self.doorbells.store(0, Ordering::Relaxed);
+        self.fabric_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -142,5 +187,22 @@ mod tests {
         assert_eq!(d.writes, 0);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn doorbell_ratio_and_avg_cost() {
+        let c = OpCounters::new();
+        for _ in 0..8 {
+            c.record_read(8);
+            c.record_fabric_ns(1_000);
+        }
+        c.record_doorbell();
+        c.record_doorbell();
+        let s = c.snapshot();
+        assert_eq!(s.fabric_ops(), 8);
+        assert_eq!(s.ops_per_doorbell(), 4.0);
+        assert_eq!(s.avg_op_cost_ns(), 1_000.0);
+        assert_eq!(CounterSnapshot::default().ops_per_doorbell(), 0.0);
+        assert_eq!(CounterSnapshot::default().avg_op_cost_ns(), 0.0);
     }
 }

@@ -1,0 +1,185 @@
+//! Doorbell batching of outbound one-sided operations.
+//!
+//! A real RNIC lets a sender post many work requests to a queue pair and
+//! ring the doorbell once: the NIC pipelines the posted ops, so only the
+//! first in the batch pays the full base (doorbell + DMA + wire setup)
+//! latency while the rest overlap all but a fraction of it. DrTM's
+//! phases exploit exactly this — the Start phase posts all lock CASes
+//! and fetches together, the Commit phase posts all write-backs together
+//! — and offload designs (SafarDB et al.) push the idea further in
+//! hardware.
+//!
+//! The simulation models it at the [`crate::Qp`] layer: outbound ops to
+//! the same destination within a batch window share one doorbell. The
+//! first op charges its full modelled latency and *opens* the doorbell;
+//! each subsequent op to that destination rides it, paying its full
+//! per-byte cost but only `pipeline_x1000/1000` of its base cost. A
+//! doorbell closes — and the next op pays full price again — when the
+//! batch reaches [`DoorbellConfig::max_batch`] ops, when more than
+//! [`DoorbellConfig::flush_deadline_ns`] of virtual time passed since it
+//! opened, or when the owner waits for completions
+//! ([`crate::Qp::doorbell_flush`], called at transaction boundaries).
+//!
+//! Fault injection is strictly per logical op: every op still rolls
+//! [`crate::FaultPlan`]'s dice individually (admission *and* SEND fate),
+//! so a seeded chaos schedule replays identically whether batching is on
+//! or off.
+
+use std::sync::Mutex;
+
+use crate::fabric::NodeId;
+
+/// Doorbell-batching knobs, part of [`crate::ClusterConfig`].
+#[derive(Debug, Clone)]
+pub struct DoorbellConfig {
+    /// Maximum ops per doorbell; `1` (or `0`) disables batching.
+    pub max_batch: u32,
+    /// Virtual-time window an open doorbell accepts ops for, in ns.
+    pub flush_deadline_ns: u64,
+    /// Exposed fraction of base latency for batched ops, in thousandths
+    /// (the pipeline factor α: `300` means a batched op pays 30 % of its
+    /// base cost plus its full per-byte cost).
+    pub pipeline_x1000: u64,
+}
+
+impl Default for DoorbellConfig {
+    fn default() -> Self {
+        DoorbellConfig { max_batch: 16, flush_deadline_ns: 8_000, pipeline_x1000: 300 }
+    }
+}
+
+impl DoorbellConfig {
+    /// A configuration with batching turned off: every op rings its own
+    /// doorbell and pays its full modelled latency.
+    pub fn disabled() -> Self {
+        DoorbellConfig { max_batch: 1, ..Default::default() }
+    }
+
+    /// Whether batching is active.
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+
+    /// Amortised cost of an op riding an open doorbell: full per-byte
+    /// cost, `pipeline_x1000/1000` of the base cost.
+    pub fn batched_ns(&self, full_ns: u64, base_ns: u64) -> u64 {
+        full_ns - base_ns + base_ns * self.pipeline_x1000 / 1000
+    }
+}
+
+/// One destination's open-doorbell state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    /// Ops admitted to the open doorbell (0 = closed).
+    count: u32,
+    /// Virtual-time meter reading when the doorbell opened.
+    opened_at: u64,
+}
+
+/// Per-QP doorbell state: one slot per destination node.
+#[derive(Debug)]
+pub(crate) struct Doorbells {
+    slots: Mutex<Vec<SlotState>>,
+}
+
+impl Doorbells {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Doorbells { slots: Mutex::new(vec![SlotState::default(); nodes]) }
+    }
+
+    /// Admits one outbound op to `to` at virtual time `now`. Returns
+    /// `true` when the op rides an already-open doorbell (charge the
+    /// amortised cost), `false` when it rings a new one (full cost).
+    ///
+    /// The `now >= opened_at` guard also covers meter resets: the
+    /// engine's slice accounting calls `vtime::take()` between
+    /// transactions, so a smaller `now` means a new measurement window,
+    /// never an op inside the old batch.
+    pub(crate) fn admit(&self, to: NodeId, cfg: &DoorbellConfig, now: u64) -> bool {
+        if !cfg.enabled() {
+            return false;
+        }
+        let mut slots = self.slots.lock().expect("doorbell state poisoned");
+        let s = &mut slots[to as usize];
+        let rides = s.count > 0
+            && s.count < cfg.max_batch
+            && now >= s.opened_at
+            && now - s.opened_at <= cfg.flush_deadline_ns;
+        if rides {
+            s.count += 1;
+        } else {
+            *s = SlotState { count: 1, opened_at: now };
+        }
+        rides
+    }
+
+    /// Closes every open doorbell (a completion wait).
+    pub(crate) fn flush(&self) {
+        for s in self.slots.lock().expect("doorbell state poisoned").iter_mut() {
+            *s = SlotState::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_op_rings_then_rides_until_max_batch() {
+        let cfg = DoorbellConfig { max_batch: 3, ..Default::default() };
+        let d = Doorbells::new(2);
+        assert!(!d.admit(1, &cfg, 0), "first op rings the doorbell");
+        assert!(d.admit(1, &cfg, 10));
+        assert!(d.admit(1, &cfg, 20), "batch of 3 fits");
+        assert!(!d.admit(1, &cfg, 30), "4th op rings a new doorbell");
+    }
+
+    #[test]
+    fn destinations_batch_independently() {
+        let cfg = DoorbellConfig::default();
+        let d = Doorbells::new(3);
+        assert!(!d.admit(1, &cfg, 0));
+        assert!(!d.admit(2, &cfg, 0), "each destination QP has its own doorbell");
+        assert!(d.admit(1, &cfg, 5));
+        assert!(d.admit(2, &cfg, 5));
+    }
+
+    #[test]
+    fn deadline_and_flush_close_the_batch() {
+        let cfg = DoorbellConfig { flush_deadline_ns: 100, ..Default::default() };
+        let d = Doorbells::new(2);
+        assert!(!d.admit(1, &cfg, 0));
+        assert!(d.admit(1, &cfg, 100), "inside the window");
+        assert!(!d.admit(1, &cfg, 300), "past the deadline: new doorbell");
+        assert!(d.admit(1, &cfg, 310));
+        d.flush();
+        assert!(!d.admit(1, &cfg, 320), "flush closed the batch");
+    }
+
+    #[test]
+    fn meter_reset_opens_a_new_doorbell() {
+        let cfg = DoorbellConfig::default();
+        let d = Doorbells::new(2);
+        assert!(!d.admit(1, &cfg, 5_000));
+        assert!(!d.admit(1, &cfg, 40), "now < opened_at means the meter was reset");
+    }
+
+    #[test]
+    fn disabled_config_never_batches() {
+        let cfg = DoorbellConfig::disabled();
+        let d = Doorbells::new(2);
+        assert!(!cfg.enabled());
+        assert!(!d.admit(1, &cfg, 0));
+        assert!(!d.admit(1, &cfg, 1));
+    }
+
+    #[test]
+    fn batched_cost_amortises_only_the_base() {
+        let cfg = DoorbellConfig::default(); // α = 0.3
+                                             // full 10_000 of which 3_000 base: batched = 7_000 + 900.
+        assert_eq!(cfg.batched_ns(10_000, 3_000), 7_900);
+        // Zero-cost profiles stay zero-cost.
+        assert_eq!(cfg.batched_ns(0, 0), 0);
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use drtm_htm::{vtime, Region};
 
 use crate::counters::OpCounters;
+use crate::doorbell::{DoorbellConfig, Doorbells};
 use crate::fault::{FabricError, FaultConfig, FaultPlan, SendFate};
 use crate::latency::LatencyProfile;
 use crate::verbs::Verbs;
@@ -66,6 +67,9 @@ pub struct ClusterConfig {
     pub atomicity: AtomicityLevel,
     /// Fault-injection plan (defaults to injecting nothing).
     pub faults: FaultConfig,
+    /// Doorbell batching of outbound ops (enabled by default; see
+    /// [`DoorbellConfig::disabled`] to model one doorbell per op).
+    pub doorbell: DoorbellConfig,
 }
 
 impl Default for ClusterConfig {
@@ -76,6 +80,7 @@ impl Default for ClusterConfig {
             profile: LatencyProfile::rdma(),
             atomicity: AtomicityLevel::Hca,
             faults: FaultConfig::default(),
+            doorbell: DoorbellConfig::default(),
         }
     }
 }
@@ -111,6 +116,7 @@ pub struct Cluster {
     counters: Arc<OpCounters>,
     verbs: Verbs,
     faults: FaultPlan,
+    doorbell: DoorbellConfig,
 }
 
 impl Cluster {
@@ -128,6 +134,7 @@ impl Cluster {
             counters: Arc::new(OpCounters::new()),
             verbs: Verbs::new(cfg.nodes),
             faults: FaultPlan::new(cfg.faults, cfg.nodes),
+            doorbell: cfg.doorbell,
         })
     }
 
@@ -170,9 +177,15 @@ impl Cluster {
         &self.faults
     }
 
+    /// The doorbell-batching configuration.
+    pub fn doorbell(&self) -> &DoorbellConfig {
+        &self.doorbell
+    }
+
     /// Creates a queue-pair handle owned by machine `from`.
     pub fn qp(self: &Arc<Self>, from: NodeId) -> Qp {
-        Qp { cluster: Arc::clone(self), from }
+        let doorbells = Doorbells::new(self.nodes.len());
+        Qp { cluster: Arc::clone(self), from, doorbells }
     }
 }
 
@@ -182,10 +195,25 @@ impl Cluster {
 /// virtual time) and may target any node, including the owner itself —
 /// a loopback RDMA op pays the full NIC round trip, exactly the cost the
 /// paper's fallback handler pays on an `IBV_ATOMIC_HCA` NIC (§6.3).
-#[derive(Debug, Clone)]
+///
+/// Outbound ops posted back-to-back to the same destination share a
+/// doorbell (see [`DoorbellConfig`]): the first pays its full base
+/// latency, the rest only the pipeline fraction of it. The batch window
+/// closes at [`Qp::doorbell_flush`] — a completion wait, which the
+/// transaction layer issues at every transaction boundary.
+#[derive(Debug)]
 pub struct Qp {
     cluster: Arc<Cluster>,
     from: NodeId,
+    doorbells: Doorbells,
+}
+
+impl Clone for Qp {
+    /// An independent queue pair on the same cluster: doorbell batches
+    /// are per-QP NIC state and do not travel with the handle.
+    fn clone(&self) -> Self {
+        self.cluster.qp(self.from)
+    }
 }
 
 impl Qp {
@@ -197,6 +225,27 @@ impl Qp {
     /// The cluster this queue pair belongs to.
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// Waits for all posted completions: closes every open doorbell, so
+    /// the next op to any destination pays its full base latency.
+    pub fn doorbell_flush(&self) {
+        self.doorbells.flush();
+    }
+
+    /// Charges one outbound op's virtual cost, amortised when it rides
+    /// an open doorbell, and returns the charged amount.
+    fn charge_fabric(&self, to: NodeId, full_ns: u64, base_ns: u64) -> u64 {
+        let cfg = &self.cluster.doorbell;
+        let cost = if self.doorbells.admit(to, cfg, vtime::read()) {
+            cfg.batched_ns(full_ns, base_ns)
+        } else {
+            self.cluster.counters.record_doorbell();
+            full_ns
+        };
+        vtime::charge(cost);
+        self.cluster.counters.record_fabric_ns(cost);
+        cost
     }
 
     /// One-sided RDMA READ of `buf.len()` bytes at `addr`.
@@ -215,7 +264,8 @@ impl Qp {
     /// either end is crashed instead of serving stale memory.
     pub fn try_read(&self, addr: GlobalAddr, buf: &mut [u8]) -> Result<(), FabricError> {
         self.cluster.faults.admit(self.from, addr.node)?;
-        vtime::charge(self.cluster.profile.read_ns(buf.len()));
+        let p = &self.cluster.profile;
+        self.charge_fabric(addr.node, p.read_ns(buf.len()), p.read_base_ns);
         self.cluster.counters.record_read(buf.len());
         self.cluster.node(addr.node).region.read_nt(addr.offset, buf);
         Ok(())
@@ -233,7 +283,8 @@ impl Qp {
     /// Fallible [`Qp::write`].
     pub fn try_write(&self, addr: GlobalAddr, data: &[u8]) -> Result<(), FabricError> {
         self.cluster.faults.admit(self.from, addr.node)?;
-        vtime::charge(self.cluster.profile.write_ns(data.len()));
+        let p = &self.cluster.profile;
+        self.charge_fabric(addr.node, p.write_ns(data.len()), p.write_base_ns);
         self.cluster.counters.record_write(data.len());
         self.cluster.node(addr.node).region.write_nt(addr.offset, data);
         Ok(())
@@ -288,7 +339,8 @@ impl Qp {
         new: u64,
     ) -> Result<u64, FabricError> {
         self.cluster.faults.admit(self.from, addr.node)?;
-        vtime::charge(self.cluster.profile.atomic_ns);
+        let atomic_ns = self.cluster.profile.atomic_ns;
+        self.charge_fabric(addr.node, atomic_ns, atomic_ns);
         self.cluster.counters.record_cas();
         Ok(self.cluster.node(addr.node).region.cas_u64_nt(addr.offset, expected, new))
     }
@@ -305,7 +357,8 @@ impl Qp {
     /// Fallible [`Qp::faa_u64`].
     pub fn try_faa_u64(&self, addr: GlobalAddr, delta: u64) -> Result<u64, FabricError> {
         self.cluster.faults.admit(self.from, addr.node)?;
-        vtime::charge(self.cluster.profile.atomic_ns);
+        let atomic_ns = self.cluster.profile.atomic_ns;
+        self.charge_fabric(addr.node, atomic_ns, atomic_ns);
         self.cluster.counters.record_faa();
         Ok(self.cluster.node(addr.node).region.faa_u64_nt(addr.offset, delta))
     }
@@ -345,9 +398,12 @@ impl Qp {
         payload: Vec<u8>,
     ) -> Result<(), FabricError> {
         self.cluster.faults.admit(self.from, to)?;
-        let cost = self.cluster.profile.send_ns(payload.len());
-        vtime::charge(cost);
+        let p = &self.cluster.profile;
+        let cost = self.charge_fabric(to, p.send_ns(payload.len()), p.send_base_ns);
         self.cluster.counters.record_send(payload.len());
+        // The fate dice roll per logical SEND, never per doorbell: a
+        // batched schedule must replay a seed identically to an
+        // unbatched one.
         match self.cluster.faults.send_fate() {
             SendFate::Drop => {}
             SendFate::Duplicate => {
@@ -410,6 +466,7 @@ mod tests {
             nodes: 2,
             region_size: 4096,
             profile: LatencyProfile::rdma(),
+            doorbell: DoorbellConfig::disabled(),
             ..Default::default()
         });
         let qp = c.qp(0);
@@ -418,6 +475,100 @@ mod tests {
         assert_eq!(vtime::take(), LatencyProfile::rdma().read_ns(8));
         qp.cas_u64(GlobalAddr::new(1, 0), 0, 1);
         assert_eq!(vtime::take(), LatencyProfile::rdma().atomic_ns);
+    }
+
+    #[test]
+    fn doorbell_batching_amortises_base_latency() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 4096,
+            profile: LatencyProfile::rdma(),
+            doorbell: DoorbellConfig { flush_deadline_ns: u64::MAX, ..Default::default() },
+            ..Default::default()
+        });
+        let p = LatencyProfile::rdma();
+        let qp = c.qp(0);
+        vtime::take();
+        qp.read_u64(GlobalAddr::new(1, 0));
+        assert_eq!(vtime::take(), p.read_ns(8), "first op rings the doorbell at full cost");
+        qp.read_u64(GlobalAddr::new(1, 8));
+        let batched = vtime::take();
+        assert_eq!(batched, c.doorbell().batched_ns(p.read_ns(8), p.read_base_ns));
+        assert!(batched < p.read_ns(8));
+        // A completion wait closes the batch: full price again.
+        qp.doorbell_flush();
+        qp.read_u64(GlobalAddr::new(1, 16));
+        assert_eq!(vtime::take(), p.read_ns(8));
+        vtime::take();
+    }
+
+    #[test]
+    fn doorbell_counters_expose_batch_ratio() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 4096,
+            profile: LatencyProfile::rdma(),
+            doorbell: DoorbellConfig {
+                max_batch: 4,
+                flush_deadline_ns: u64::MAX,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let qp = c.qp(0);
+        vtime::take();
+        for i in 0..8 {
+            qp.read_u64(GlobalAddr::new(1, 8 * i));
+        }
+        vtime::take();
+        let s = c.counters().snapshot();
+        assert_eq!(s.doorbells, 2, "8 ops at max_batch 4 ring twice");
+        assert_eq!(s.ops_per_doorbell(), 4.0);
+        assert!(s.fabric_ns > 0);
+    }
+
+    #[test]
+    fn disabled_batching_rings_once_per_op() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 4096,
+            profile: LatencyProfile::rdma(),
+            doorbell: DoorbellConfig::disabled(),
+            ..Default::default()
+        });
+        let qp = c.qp(0);
+        vtime::take();
+        for i in 0..5 {
+            qp.read_u64(GlobalAddr::new(1, 8 * i));
+        }
+        qp.send(1, 0, vec![1, 2, 3]);
+        vtime::take();
+        let s = c.counters().snapshot();
+        assert_eq!(s.doorbells, s.fabric_ops());
+        assert_eq!(s.ops_per_doorbell(), 1.0);
+        assert_eq!(
+            s.fabric_ns,
+            5 * LatencyProfile::rdma().read_ns(8) + LatencyProfile::rdma().send_ns(3)
+        );
+    }
+
+    #[test]
+    fn cloned_qp_starts_with_closed_doorbells() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            region_size: 4096,
+            profile: LatencyProfile::rdma(),
+            doorbell: DoorbellConfig { flush_deadline_ns: u64::MAX, ..Default::default() },
+            ..Default::default()
+        });
+        let p = LatencyProfile::rdma();
+        let qp = c.qp(0);
+        vtime::take();
+        qp.read_u64(GlobalAddr::new(1, 0));
+        let qp2 = qp.clone();
+        vtime::take();
+        qp2.read_u64(GlobalAddr::new(1, 8));
+        assert_eq!(vtime::take(), p.read_ns(8), "a fresh QP has no open doorbell to ride");
     }
 
     #[test]

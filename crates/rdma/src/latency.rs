@@ -8,6 +8,12 @@
 /// paper runs Calvin on), which pays the kernel network stack on every
 /// message.
 ///
+/// The split between `*_base_ns` and `*_byte_ns_x1000` matters for
+/// doorbell batching (`crate::DoorbellConfig`): ops riding an open
+/// doorbell amortise the base cost (doorbell ring + DMA + wire setup
+/// overlap across the batch) but always pay the full per-byte cost —
+/// batching hides launch latency, not bandwidth.
+///
 /// The absolute values are taken from the paper where it reports them
 /// (§6.3: RDMA CAS ≈ 14.5 µs on their NIC vs 0.08 µs local CAS is noted
 /// as anomalously slow, so the default uses a round-trip-calibrated 6 µs;

@@ -25,6 +25,9 @@
 //! to the calling thread's [`drtm_htm::vtime`] meter and bumps the
 //! cluster-wide [`OpCounters`]; the paper's "average RDMA READs per
 //! lookup" metric (Table 4) is read straight off those counters.
+//! Outbound ops posted back-to-back to one destination share a doorbell
+//! ([`DoorbellConfig`]), amortising the base latency the way a real NIC
+//! pipelines a batch of posted work requests.
 //!
 //! # Examples
 //!
@@ -45,12 +48,14 @@
 //! ```
 
 mod counters;
+mod doorbell;
 mod fabric;
 mod fault;
 mod latency;
 mod verbs;
 
 pub use counters::{CounterSnapshot, OpCounters};
+pub use doorbell::DoorbellConfig;
 pub use fabric::{AtomicityLevel, Cluster, ClusterConfig, GlobalAddr, Node, NodeId, Qp};
 pub use fault::{FabricError, FaultConfig, FaultPlan};
 pub use latency::LatencyProfile;

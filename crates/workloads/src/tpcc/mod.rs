@@ -23,7 +23,7 @@ use std::sync::Arc;
 use drtm_core::{DrTm, DrTmConfig, NodeLayout, SoftTimer};
 use drtm_htm::{Executor, HtmStats};
 use drtm_memstore::{Arena, BTree, ClusterHash};
-use drtm_rdma::{AtomicityLevel, Cluster, ClusterConfig, LatencyProfile, NodeId};
+use drtm_rdma::{AtomicityLevel, Cluster, ClusterConfig, DoorbellConfig, LatencyProfile, NodeId};
 
 use crate::pack_fields;
 use crate::resolve::Table;
@@ -59,6 +59,9 @@ pub struct TpccConfig {
     pub profile: LatencyProfile,
     /// NIC atomics coherence level (§6.3 ablation).
     pub atomicity: AtomicityLevel,
+    /// Doorbell batching of outbound one-sided ops (on by default; the
+    /// fig12 batching ablation turns it off).
+    pub doorbell: DoorbellConfig,
     /// Transaction-layer configuration.
     pub drtm: DrTmConfig,
 }
@@ -77,6 +80,7 @@ impl Default for TpccConfig {
             region_size: 192 << 20,
             profile: LatencyProfile::rdma(),
             atomicity: AtomicityLevel::Hca,
+            doorbell: DoorbellConfig::default(),
             drtm: DrTmConfig::default(),
         }
     }
@@ -155,6 +159,7 @@ impl Tpcc {
             region_size: cfg.region_size,
             profile: cfg.profile.clone(),
             atomicity: cfg.atomicity,
+            doorbell: cfg.doorbell.clone(),
             ..Default::default()
         });
         let wh_per_node = cfg.workers as u64;
@@ -462,6 +467,7 @@ mod tests {
             profile: LatencyProfile::zero(),
             atomicity: AtomicityLevel::Hca,
             drtm: DrTmConfig::default(),
+            doorbell: DoorbellConfig::default(),
         }
     }
 
