@@ -20,6 +20,12 @@
 # (extra.rdma_ops_per_doorbell > 1.0, batched per-op cost below
 # unbatched). See EXPERIMENTS.md for the schema.
 #
+# With --resize-smoke, additionally runs the elastic-memstore gates at
+# minimum scale: the split-ordered/fixed-size observational-equivalence
+# proptest, the live-migration workload tests (typed Migrated aborts,
+# dual-read forwarding, conservation), and the migration crash points of
+# the chaos matrix.
+#
 # With --chaos-smoke, additionally runs the deterministic chaos matrix
 # (tests/chaos.rs) at minimum scale — including the fallback
 # log-before-unlock crash points — and the crash+recovery plus
@@ -33,10 +39,12 @@ cd "$(dirname "$0")"
 
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+RESIZE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --resize-smoke) RESIZE_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -71,6 +79,15 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     --diff . "$SMOKE_OUT"/BENCH_*.json
   grep -q '"rdma_ops_per_doorbell"' "$SMOKE_OUT"/BENCH_fig12_tpcc_machines.json \
     || { echo "fig12 ledger missing rdma_ops_per_doorbell" >&2; exit 1; }
+fi
+
+if [ "$RESIZE_SMOKE" = 1 ]; then
+  echo "== resize smoke: split-order observational equivalence =="
+  DRTM_SCALE=0.01 cargo test -q --test proptest_stores elastic_hash_matches_cluster_hash
+  echo "== resize smoke: live-migration workload (typed aborts, dual-read, conservation) =="
+  DRTM_SCALE=0.01 cargo test -q -p drtm-workloads elastic
+  echo "== resize smoke: migration crash points =="
+  DRTM_SCALE=0.01 cargo test -q --test chaos migration
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

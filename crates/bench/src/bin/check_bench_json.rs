@@ -8,9 +8,13 @@
 //! zero/negative throughput or wall time, claims a non-zero
 //! `extra.ro_log_bytes`, records doorbell batching on
 //! (`extra.rdma_batch_size` > 1) without `extra.rdma_ops_per_doorbell`
-//! exceeding 1.0, or carries a batched/unbatched per-op cost pair where
-//! batching failed to lower the cost — any of which means the harness
-//! produced garbage, not a slow result.
+//! exceeding 1.0, carries a batched/unbatched per-op cost pair where
+//! batching failed to lower the cost, carries a live-resize segment
+//! whose during-resize throughput fell below [`MIN_RESIZE_RATIO`]× of
+//! steady (or whose extra-hops-per-lookup breaks the split-order ≤ 1
+//! invariant), or is the `fig10d_cache_size` ledger without a resize
+//! segment at all — any of which means the harness produced garbage,
+//! not a slow result.
 //!
 //! With `--diff BASELINE_DIR`, each checked file is also compared
 //! against the same-named file in `BASELINE_DIR`: a throughput drop of
@@ -36,6 +40,10 @@ const REQUIRED_NUMERIC: &[&str] = &[
 
 /// Largest tolerated fractional throughput drop against a baseline.
 const MAX_REGRESSION: f64 = 0.10;
+
+/// Floor on `resize_throughput_during / resize_throughput_steady`: an
+/// online resize that halves throughput is not "online".
+const MIN_RESIZE_RATIO: f64 = 0.70;
 
 fn check(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
@@ -94,6 +102,49 @@ fn check(path: &PathBuf) -> Result<(), String> {
             return Err(format!(
                 "batched per-op cost must be positive and below unbatched \
                  (batched {batched} ns, unbatched {unbatched} ns)"
+            ));
+        }
+    }
+    // Live-resize segment: the elastic-memstore ledger must carry one,
+    // its during-resize throughput must hold MIN_RESIZE_RATIO of steady,
+    // and the split-ordered table's resize overhead must respect the
+    // ≤ 1 extra-chain-hop-per-lookup invariant.
+    let steady = extra_of(&j, "resize_throughput_steady");
+    let during = extra_of(&j, "resize_throughput_during");
+    if matches!(j.get("bench"), Some(Json::Str(s)) if s == "fig10d_cache_size")
+        && (steady.is_none() || during.is_none())
+    {
+        return Err("fig10d_cache_size must carry the live-resize segment \
+             (extra.resize_throughput_steady / extra.resize_throughput_during)"
+            .into());
+    }
+    match (steady, during) {
+        (Some(s), Some(d)) => {
+            if !(s > 0.0 && d > 0.0) {
+                return Err(format!(
+                    "resize throughputs must be positive (steady {s}, during {d})"
+                ));
+            }
+            if d < MIN_RESIZE_RATIO * s {
+                return Err(format!(
+                    "throughput during resize fell to {:.2}× of steady \
+                     (during {d:.3} vs steady {s:.3}, floor {MIN_RESIZE_RATIO}×)",
+                    d / s
+                ));
+            }
+        }
+        (None, None) => {}
+        _ => {
+            return Err(
+                "resize_throughput_steady and resize_throughput_during must appear together".into(),
+            )
+        }
+    }
+    if let Some(h) = extra_of(&j, "resize_extra_hops_per_lookup") {
+        if !(0.0..=1.0).contains(&h) {
+            return Err(format!(
+                "extra.resize_extra_hops_per_lookup must be within [0, 1] \
+                 (split-order invariant; got {h})"
             ));
         }
     }

@@ -32,6 +32,9 @@ pub struct LogSlotLayout {
 pub struct NodeLayout {
     /// Log slot layouts, indexed by worker id.
     pub log_slots: Vec<LogSlotLayout>,
+    /// Offset of the 64-byte migration journal the resharder arms before
+    /// each journaled purge lock (`[active, src, state_off, lock_word]`).
+    pub migration_journal_off: usize,
 }
 
 impl NodeLayout {
@@ -61,7 +64,8 @@ impl NodeLayout {
                 }
             })
             .collect();
-        NodeLayout { log_slots }
+        let migration_journal_off = arena.reserve(drtm_memstore::reshard::MIGRATION_JOURNAL_BYTES);
+        NodeLayout { log_slots, migration_journal_off }
     }
 }
 
@@ -78,6 +82,11 @@ mod tests {
             assert!(w[0].write_ahead_off + w[0].write_ahead_cap <= w[1].status_off);
         }
         assert!(l.log_slots[0].status_off >= 64, "softtime line reserved first");
+        let last = l.log_slots.last().unwrap();
+        assert!(
+            l.migration_journal_off >= last.write_ahead_off + last.write_ahead_cap,
+            "migration journal follows the log slots"
+        );
     }
 
     #[test]

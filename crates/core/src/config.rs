@@ -62,12 +62,21 @@ pub enum CrashPoint {
     /// must skip the applied prefix by version, redo the rest, and
     /// release the locks still held.
     FallbackMidUnlock,
+    /// Resharder: the migration destination dies inside the bulk-copy
+    /// loop (some rows landed on the destination, none removed from the
+    /// source, range still `Copying`). Recovery rolls back: drop the
+    /// partial copy, return the range to the source.
+    MigrateMidCopy,
+    /// Resharder: the destination dies after the bulk copy completes but
+    /// before the cutover freezes the range. Same rollback obligation as
+    /// mid-copy — nothing is durable until publish.
+    MigrateBeforeCutover,
 }
 
 impl CrashPoint {
     /// Every crash point, in protocol order (the chaos matrix iterates
     /// this).
-    pub const ALL: [CrashPoint; 10] = [
+    pub const ALL: [CrashPoint; 12] = [
         CrashPoint::AfterLockAhead,
         CrashPoint::AfterRemoteLocks,
         CrashPoint::BeforeHtmCommit,
@@ -78,6 +87,8 @@ impl CrashPoint {
         CrashPoint::FallbackBeforeWal,
         CrashPoint::FallbackAfterWalBeforeApply,
         CrashPoint::FallbackMidUnlock,
+        CrashPoint::MigrateMidCopy,
+        CrashPoint::MigrateBeforeCutover,
     ];
 
     /// Stable site label used to arm a `FaultPlan` crash at this point.
@@ -93,6 +104,8 @@ impl CrashPoint {
             CrashPoint::FallbackBeforeWal => "fallback-before-wal",
             CrashPoint::FallbackAfterWalBeforeApply => "fallback-after-wal-before-apply",
             CrashPoint::FallbackMidUnlock => "fallback-mid-unlock",
+            CrashPoint::MigrateMidCopy => "migrate-mid-copy",
+            CrashPoint::MigrateBeforeCutover => "migrate-before-cutover",
         }
     }
 
@@ -107,6 +120,13 @@ impl CrashPoint {
                 | CrashPoint::FallbackAfterWalBeforeApply
                 | CrashPoint::FallbackMidUnlock
         )
+    }
+
+    /// Whether this point lives in the resharder's migration protocol
+    /// (driven by a whole-range recovery, not the per-transaction
+    /// commit-protocol matrix).
+    pub fn is_migration(self) -> bool {
+        matches!(self, CrashPoint::MigrateMidCopy | CrashPoint::MigrateBeforeCutover)
     }
 }
 
@@ -189,5 +209,29 @@ mod tests {
         assert!(!CrashPoint::FallbackBeforeWal.is_committed());
         assert!(CrashPoint::FallbackAfterWalBeforeApply.is_committed());
         assert!(CrashPoint::FallbackMidUnlock.is_committed());
+        // Migration points always roll back (nothing durable pre-publish)
+        // and are the only ones outside the commit-protocol matrix.
+        assert!(!CrashPoint::MigrateMidCopy.is_committed());
+        assert!(!CrashPoint::MigrateBeforeCutover.is_committed());
+        for p in CrashPoint::ALL {
+            assert_eq!(
+                p.is_migration(),
+                matches!(p, CrashPoint::MigrateMidCopy | CrashPoint::MigrateBeforeCutover)
+            );
+        }
+    }
+
+    #[test]
+    fn migration_site_names_match_the_memstore_constants() {
+        // The resharder lives in memstore (core-free) and duplicates the
+        // site strings; this cross-check keeps them from drifting.
+        assert_eq!(
+            CrashPoint::MigrateMidCopy.name(),
+            drtm_memstore::reshard::MIGRATE_MID_COPY_SITE
+        );
+        assert_eq!(
+            CrashPoint::MigrateBeforeCutover.name(),
+            drtm_memstore::reshard::MIGRATE_BEFORE_CUTOVER_SITE
+        );
     }
 }

@@ -171,5 +171,26 @@ pub fn recover_node(
             None => {}
         }
     }
+
+    // Migration-journal sweep: if the crashed machine was a resharding
+    // destination that died between arming its journal and shipping the
+    // purge delete, the recorded source-side migration lock is still
+    // held — release it (idempotently, by CAS on the exact logged word)
+    // and clear the journal.
+    let j = layout.migration_journal_off;
+    if region.read_u64_nt(j) == 1 {
+        let src = region.read_u64_nt(j + 8) as NodeId;
+        let off = region.read_u64_nt(j + 16) as usize;
+        let word = region.read_u64_nt(j + 24);
+        let released = if src == crashed || cluster.faults().is_crashed(src) {
+            cluster.node(src).region().cas_u64_nt(off, word, INIT) == word
+        } else {
+            qp.cas_u64(drtm_rdma::GlobalAddr::new(src, off), word, INIT) == word
+        };
+        if released {
+            report.released_locks += 1;
+        }
+        region.write_u64_nt(j, 0);
+    }
     report
 }

@@ -116,10 +116,14 @@ pub enum AbortCause {
         /// The machine believed dead.
         node: u16,
     },
+    /// The key's range is mid-migration (cutover window) or moved to a
+    /// new owner since resolution: the attempt aborts and the worker
+    /// re-resolves against the range map before retrying.
+    Migrated,
 }
 
 /// Number of distinct [`AbortCause`] kinds (payloads ignored).
-pub const NUM_CAUSES: usize = 12;
+pub const NUM_CAUSES: usize = 13;
 
 impl AbortCause {
     /// Dense index of the cause kind (payloads ignored), for counters.
@@ -137,6 +141,7 @@ impl AbortCause {
             AbortCause::FallbackWait => 9,
             AbortCause::UserAbort => 10,
             AbortCause::PeerDead { .. } => 11,
+            AbortCause::Migrated => 12,
         }
     }
 
@@ -184,6 +189,7 @@ pub const CAUSE_NAMES: [&str; NUM_CAUSES] = [
     "fallback-wait",
     "user-abort",
     "peer-dead",
+    "migrated",
 ];
 
 impl fmt::Display for AbortCause {
@@ -668,6 +674,7 @@ mod tests {
             AbortCause::FallbackWait,
             AbortCause::UserAbort,
             AbortCause::PeerDead { node: 4 },
+            AbortCause::Migrated,
         ];
         for (i, c) in all.iter().enumerate() {
             assert_eq!(c.index(), i, "{c}");

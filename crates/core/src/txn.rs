@@ -293,6 +293,15 @@ impl Worker {
         );
     }
 
+    /// Records an abort decided *outside* the commit protocol — e.g. the
+    /// elastic router aborting with [`AbortCause::Migrated`] when a key's
+    /// range is mid-cutover — so cross-layer retries show up in the same
+    /// per-cause counters and trace rings as protocol aborts.
+    pub fn note_abort(&mut self, cause: AbortCause) {
+        let txn_id = self.next_txn_id();
+        self.trace_abort(txn_id, Phase::Start, cause, None);
+    }
+
     /// The cluster's fault plan (chaos-harness hooks).
     fn faults(&self) -> &FaultPlan {
         self.sys.cluster.faults()

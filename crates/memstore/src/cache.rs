@@ -56,6 +56,12 @@ pub struct CacheStats {
     pub fetches: u64,
     /// Explicit invalidations (stale incarnation detected by the caller).
     pub invalidations: u64,
+    /// Invalidations forced by a range migration's cutover (the resharder
+    /// clearing locations that now point at the old owner).
+    pub migration_invalidations: u64,
+    /// Lookups the router answered remotely *despite* a warm entry
+    /// because the key's range was mid-cutover (cache bypassed).
+    pub forced_misses: u64,
 }
 
 impl CacheStats {
@@ -77,6 +83,8 @@ struct AtomicCacheStats {
     misses: AtomicU64,
     fetches: AtomicU64,
     invalidations: AtomicU64,
+    migration_invalidations: AtomicU64,
+    forced_misses: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -86,6 +94,8 @@ impl AtomicCacheStats {
             misses: self.misses.load(Ordering::Relaxed),
             fetches: self.fetches.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            migration_invalidations: self.migration_invalidations.load(Ordering::Relaxed),
+            forced_misses: self.forced_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -94,6 +104,8 @@ impl AtomicCacheStats {
         self.misses.store(0, Ordering::Relaxed);
         self.fetches.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        self.migration_invalidations.store(0, Ordering::Relaxed);
+        self.forced_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -781,6 +793,112 @@ impl MutexLocationCache {
             inner.pool[p] = CachedBucket::EMPTY;
             inner.pool_free.push(p);
         }
+    }
+}
+
+/// One resolved location held by an [`AddrCache`].
+#[derive(Debug, Clone, Copy)]
+struct CachedAddr {
+    key: u64,
+    addr: GlobalAddr,
+    slot: Slot,
+}
+
+/// Key → location cache for the elastic split-ordered table.
+///
+/// [`LocationCache`] mirrors the cluster-chaining table's *bucket*
+/// geometry, which a split-ordered table does not have (its buckets are
+/// chain positions that move on every split). The elastic path caches
+/// resolved *entries* instead: a direct-mapped key → `(address, slot)`
+/// map whose hits skip the remote chain walk entirely and whose
+/// staleness is caught by the usual incarnation check on first use.
+///
+/// The resharder invalidates ranges at cutover
+/// ([`AddrCache::invalidate_range`]); the router records cutover-window
+/// bypasses with [`AddrCache::note_forced_miss`]. Both show up in
+/// [`CacheStats`] so the bench diagnostics can print migration costs.
+#[derive(Debug)]
+pub struct AddrCache {
+    cells: Box<[Mutex<Option<CachedAddr>>]>,
+    mask: usize,
+    stats: AtomicCacheStats,
+}
+
+impl AddrCache {
+    /// Creates a cache with `cells` entries (rounded up to a power of
+    /// two).
+    pub fn new(cells: usize) -> Self {
+        let cells = cells.next_power_of_two().max(1);
+        AddrCache {
+            cells: (0..cells).map(|_| Mutex::new(None)).collect(),
+            mask: cells - 1,
+            stats: AtomicCacheStats::default(),
+        }
+    }
+
+    fn cell(&self, key: u64) -> &Mutex<Option<CachedAddr>> {
+        &self.cells[(crate::hash64(key) as usize) & self.mask]
+    }
+
+    /// Returns the cached location of `key`, if present.
+    pub fn lookup(&self, key: u64) -> Option<(GlobalAddr, Slot)> {
+        let hit = self.cell(key).lock().filter(|c| c.key == key).map(|c| (c.addr, c.slot));
+        match hit {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Installs a freshly resolved location.
+    pub fn install(&self, key: u64, addr: GlobalAddr, slot: Slot) {
+        self.stats.fetches.fetch_add(1, Ordering::Relaxed);
+        *self.cell(key).lock() = Some(CachedAddr { key, addr, slot });
+    }
+
+    /// Drops `key`'s entry (stale incarnation detected by the caller).
+    /// Returns whether an entry was dropped.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let mut cell = self.cell(key).lock();
+        if cell.map(|c| c.key == key).unwrap_or(false) {
+            *cell = None;
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cutover invalidation: drops every cached key in `[lo, hi]` and
+    /// counts them as migration invalidations. Returns how many entries
+    /// were dropped.
+    pub fn invalidate_range(&self, lo: u64, hi: u64) -> u64 {
+        let mut dropped = 0;
+        for cell in self.cells.iter() {
+            let mut cell = cell.lock();
+            if cell.map(|c| c.key >= lo && c.key <= hi).unwrap_or(false) {
+                *cell = None;
+                dropped += 1;
+            }
+        }
+        self.stats.migration_invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Records a lookup the router answered remotely despite a possible
+    /// warm entry, because the key's range was mid-cutover.
+    pub fn note_forced_miss(&self) {
+        self.stats.forced_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a copy of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets the hit/miss counters (not the cached data).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 }
 

@@ -34,19 +34,27 @@ mod cluster_hash;
 mod cuckoo;
 mod entry;
 mod hopscotch;
+pub mod reshard;
 pub mod rpc;
 mod slot;
+mod split_ordered;
 
 pub use alloc::{Arena, FreeList};
 pub use btree::{BTree, BTreeDesc};
-pub use cache::{CacheStats, LocationCache, MutexLocationCache};
+pub use cache::{AddrCache, CacheStats, LocationCache, MutexLocationCache};
 pub use cluster_hash::{
     ClusterHash, ClusterHashDesc, InsertError, LookupResult, PreparedInsert, BUCKET_BYTES,
 };
 pub use cuckoo::{CuckooHash, CuckooHashDesc};
 pub use entry::{Entry, EntryHeader, ENTRY_HEADER_BYTES};
 pub use hopscotch::{HopscotchHash, HopscotchHashDesc, HopscotchVariant};
+pub use reshard::{
+    MigratePhase, MigrationReport, RangeMap, RangeState, ReshardStats, Resharder, RouteDecision,
+};
 pub use slot::{Slot, SlotType, SLOT_BYTES};
+pub use split_ordered::{
+    CollectedEntry, ElasticHash, ElasticHashDesc, ElasticStats, NODE_HEADER_BYTES,
+};
 
 /// Default associativity of cluster-hash buckets (slots per bucket, §5.2).
 pub const ASSOC: usize = 8;

@@ -10,10 +10,56 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use drtm_htm::Executor;
+use drtm_htm::{Executor, Region};
 use drtm_rdma::{Cluster, NodeId, QueueId};
 
 use crate::cluster_hash::{ClusterHash, InsertError};
+use crate::split_ordered::ElasticHash;
+
+/// A table kind the host-side store service can execute shipped
+/// operations against. The wire format is table-kind-agnostic; the
+/// host's registry decides how each index is backed.
+#[derive(Debug, Clone)]
+pub enum AnyTable {
+    /// Fixed-size cluster-chaining table.
+    Cluster(Arc<ClusterHash>),
+    /// Elastic split-ordered table (online-resizable).
+    Elastic(Arc<ElasticHash>),
+}
+
+impl AnyTable {
+    fn insert(
+        &self,
+        exec: &Executor,
+        region: &Region,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), InsertError> {
+        match self {
+            AnyTable::Cluster(t) => t.insert(exec, region, key, value),
+            AnyTable::Elastic(t) => t.insert(exec, region, key, value),
+        }
+    }
+
+    fn delete(&self, exec: &Executor, region: &Region, key: u64) -> bool {
+        match self {
+            AnyTable::Cluster(t) => t.delete(exec, region, key),
+            AnyTable::Elastic(t) => t.delete(exec, region, key),
+        }
+    }
+}
+
+impl From<Arc<ClusterHash>> for AnyTable {
+    fn from(t: Arc<ClusterHash>) -> Self {
+        AnyTable::Cluster(t)
+    }
+}
+
+impl From<Arc<ElasticHash>> for AnyTable {
+    fn from(t: Arc<ElasticHash>) -> Self {
+        AnyTable::Elastic(t)
+    }
+}
 
 /// Queue id of a machine's store-operation service.
 pub const STORE_RPC_QUEUE: QueueId = 0xFFEE;
@@ -127,7 +173,7 @@ pub fn ship_store_op(
 pub fn serve_store_ops(
     cluster: &Arc<Cluster>,
     host: NodeId,
-    tables: &[Arc<ClusterHash>],
+    tables: &[AnyTable],
     exec: &Executor,
     stop: &AtomicBool,
 ) {
@@ -165,9 +211,10 @@ pub fn serve_store_ops(
 pub fn spawn_store_service(
     cluster: Arc<Cluster>,
     host: NodeId,
-    tables: Vec<Arc<ClusterHash>>,
+    tables: Vec<impl Into<AnyTable>>,
     exec: Executor,
 ) -> StoreServiceGuard {
+    let tables: Vec<AnyTable> = tables.into_iter().map(Into::into).collect();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let handle = std::thread::Builder::new()

@@ -8,6 +8,8 @@
 //!   access skew, the second evaluation workload.
 //! * [`micro`] — the read-write and hotspot micro-benchmarks used to
 //!   evaluate the read lease (Figure 17).
+//! * [`elastic`] — transactions over the resizable, reshardable
+//!   memstore: live bucket doubling and key-range migration mid-run.
 //! * [`dist`] — uniform and Zipf (YCSB θ = 0.99) key distributions used
 //!   by the key-value store comparison (§5.4).
 //! * [`driver`] — the multi-threaded virtual-time benchmark driver used
@@ -17,6 +19,7 @@
 
 pub mod dist;
 pub mod driver;
+pub mod elastic;
 pub mod micro;
 pub mod resolve;
 pub mod smallbank;
