@@ -32,6 +32,16 @@
 # durable-free read-only segments of tab6_durability, validating its
 # emitted JSON (extra.recovery_ms, extra.ro_log_bytes == 0).
 #
+# With --membership-smoke, additionally runs the cluster-membership
+# gates at minimum scale: the membership crash points of the chaos
+# matrix (journaled join rollback / leave roll-forward, detector-driven
+# dispatch, the serve-through-churn end-to-end), the random
+# join/leave/kill interleaving proptest against the model cluster, the
+# workload-level round-trip and typed routing-gate tests, and the fig12
+# membership-churn segment, validating its emitted JSON
+# (extra.membership_throughput_ratio >= 0.6, extra.join_ms/drain_ms
+# positive).
+#
 # The build is fully offline: third-party deps resolve to the minimal
 # vendored stubs under vendor/ via [patch.crates-io] in Cargo.toml.
 set -euo pipefail
@@ -40,11 +50,13 @@ cd "$(dirname "$0")"
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 RESIZE_SMOKE=0
+MEMBERSHIP_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --resize-smoke) RESIZE_SMOKE=1 ;;
+    --membership-smoke) MEMBERSHIP_SMOKE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -88,6 +100,28 @@ if [ "$RESIZE_SMOKE" = 1 ]; then
   DRTM_SCALE=0.01 cargo test -q -p drtm-workloads elastic
   echo "== resize smoke: migration crash points =="
   DRTM_SCALE=0.01 cargo test -q --test chaos migration
+fi
+
+if [ "$MEMBERSHIP_SMOKE" = 1 ]; then
+  echo "== membership smoke: membership crash points + detector dispatch + e2e =="
+  DRTM_SCALE=0.01 cargo test -q --test chaos -- \
+    join_crash_points leave_mid_drain failure_detector_drives elastic_kv_serves
+  echo "== membership smoke: random join/leave/kill interleavings vs model =="
+  DRTM_SCALE=0.01 cargo test -q --test membership
+  echo "== membership smoke: workload round-trip + typed routing gate =="
+  DRTM_SCALE=0.01 cargo test -q -p drtm-workloads -- \
+    join_then_leave membership_gate
+  echo "== membership smoke: fig12 membership-churn segment =="
+  MEM_OUT="$(mktemp -d)"
+  SCRATCH_DIRS+=("$MEM_OUT")
+  DRTM_SCALE=0.01 DRTM_FIG12_SCALEOUT_NODES=16 DRTM_FIG12_SCALEOUT_WORKERS=32 \
+    DRTM_BENCH_OUT="$MEM_OUT" \
+    cargo bench -q -p drtm-bench --bench fig12_tpcc_machines
+  echo "== membership smoke: validate emitted JSON =="
+  cargo run -q --release -p drtm-bench --bin check_bench_json -- \
+    "$MEM_OUT"/BENCH_fig12_tpcc_machines.json
+  grep -q '"membership_throughput_ratio"' "$MEM_OUT"/BENCH_fig12_tpcc_machines.json \
+    || { echo "fig12 ledger missing membership_throughput_ratio" >&2; exit 1; }
 fi
 
 if [ "$CHAOS_SMOKE" = 1 ]; then

@@ -3,12 +3,26 @@
 //! segment far past the paper's 6 machines: the pipelined engine drives
 //! hundreds of logical workers on a small OS thread pool, with doorbell
 //! batching measured on vs off.
+//!
+//! A final membership segment measures what cluster reconfiguration
+//! costs the traffic that keeps running through it: the same
+//! transfer/read mix once at steady state and once while a churn
+//! thread cycles machines through join → serve → leave. The ledger
+//! gate (`check_bench_json`) requires the during-churn throughput to
+//! stay within 0.6× of steady.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use drtm_bench::report::{causes_of, rdma_ops_per_txn, BenchReport};
 use drtm_bench::runners::{calvin_run, tpcc_run_with};
-use drtm_bench::{banner, diagnostics, mops, row, scaled};
+use drtm_bench::{banner, diagnostics, f, mops, row, scaled};
 use drtm_calvin::{Calvin, CalvinConfig};
-use drtm_rdma::DoorbellConfig;
+use drtm_core::{MembershipError, TxnError};
+use drtm_rdma::{DoorbellConfig, NodeId};
+use drtm_workloads::dist::{rng, KeyDist};
+use drtm_workloads::driver;
+use drtm_workloads::elastic::{ElasticKv, ElasticKvConfig, INIT_VALUE};
 use drtm_workloads::tpcc::TpccConfig;
 
 fn drtm_cfg(nodes: usize) -> TpccConfig {
@@ -152,6 +166,110 @@ fn main() {
         op_cost[0]
     );
     json.push_extra("scaleout_nodes", so_nodes as f64);
+
+    // ---- membership segment --------------------------------------------
+    // Same transfer/read mix twice over an elastic deployment: once at
+    // steady state, once while a churn thread cycles fresh machines
+    // through journaled join → serve → leave, so the ledger records
+    // what a cluster reconfiguration costs concurrent traffic and how
+    // long a donation stream / departure drain takes.
+    let per = scaled(2_000, 400);
+    let mcfg = ElasticKvConfig {
+        nodes: 2,
+        max_nodes: 26,
+        workers: 4,
+        keys_per_node: per,
+        init_buckets: 64,
+        max_buckets: 8_192,
+        region_size: 8 << 20,
+        ..ElasticKvConfig::default()
+    };
+    let mworkers = mcfg.workers;
+    let kv = ElasticKv::build(mcfg);
+    let total_keys = 2 * per;
+    let miters = scaled(1_200, 200);
+    banner("fig12m", "membership churn: join/leave under load");
+    let kvref = &kv;
+    let mix = |salt: u64| {
+        move |node: NodeId, wid: usize| {
+            let mut w = kvref.worker(node, wid);
+            let mut r = rng(salt ^ (node as u64 * 131 + wid as u64 + 7));
+            let dist = KeyDist::uniform(total_keys);
+            move |i: u64| {
+                let a = dist.sample(&mut r);
+                let mut b = dist.sample(&mut r);
+                if b == a {
+                    b = (b + 1) % total_keys;
+                }
+                if i.is_multiple_of(4) {
+                    // A key can resolve to a machine that retires before
+                    // the op lands; the typed error re-routes on retry.
+                    while let Err(e) = w.read(a) {
+                        assert!(matches!(e, TxnError::Retired(_)), "read: {e:?}");
+                    }
+                    "read"
+                } else {
+                    while let Err(e) = w.transfer(a, b, 1) {
+                        assert!(matches!(e, TxnError::Retired(_)), "transfer: {e:?}");
+                    }
+                    "transfer"
+                }
+            }
+        }
+    };
+    let steady = driver::run(2, mworkers, miters, mix(1), miters / 8);
+    let stop = AtomicBool::new(false);
+    let (during, mdiag, joins, drains) = std::thread::scope(|s| {
+        let churn = s.spawn(|| {
+            // Machine ids are never reused, so the fabric capacity
+            // bounds the churn if the measured window outlasts it; the
+            // in-flight cycle always drains back out before exiting.
+            let mut joins: Vec<f64> = Vec::new();
+            let mut drains: Vec<f64> = Vec::new();
+            loop {
+                let t = Instant::now();
+                let joined = match kv.join_node() {
+                    Ok(r) => r.node,
+                    Err(MembershipError::ClusterFull) => break,
+                    Err(e) => panic!("join: {e}"),
+                };
+                joins.push(t.elapsed().as_secs_f64() * 1e3);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let t = Instant::now();
+                kv.leave_node(joined, 0).expect("leave");
+                drains.push(t.elapsed().as_secs_f64() * 1e3);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            (joins, drains)
+        });
+        let (rep, stats) = driver::run_diagnosed(&kv.sys, 2, mworkers, miters, mix(2), miters / 8);
+        stop.store(true, Ordering::Relaxed);
+        let (joins, drains) = churn.join().expect("churn thread");
+        (rep, stats, joins, drains)
+    });
+    assert_eq!(kv.total_value(), total_keys * INIT_VALUE, "conservation across membership churn");
+    assert!(!joins.is_empty() && joins.len() == drains.len(), "every join must drain back out");
+    let s_tput = steady.throughput();
+    let d_tput = during.throughput();
+    let join_ms = joins.iter().sum::<f64>() / joins.len() as f64;
+    let drain_ms = drains.iter().sum::<f64>() / drains.len() as f64;
+    row(&["membership".into(), "steady".into(), "during".into(), "ratio".into()]);
+    row(&["tput".into(), mops(s_tput), mops(d_tput), f(d_tput / s_tput)]);
+    println!(
+        "membership diagnostics: {} join/leave cycles, {:.2} ms mean join, {:.2} ms mean drain",
+        joins.len(),
+        join_ms,
+        drain_ms
+    );
+    diagnostics("membership/during", &mdiag);
+    json.push_extra("membership_throughput_steady", s_tput);
+    json.push_extra("membership_throughput_during", d_tput);
+    json.push_extra("membership_throughput_ratio", d_tput / s_tput);
+    json.push_extra("join_ms", join_ms);
+    json.push_extra("drain_ms", drain_ms);
+    json.push_extra("membership_cycles", joins.len() as f64);
 
     json.wall_seconds = wall.elapsed().as_secs_f64();
     json.write();

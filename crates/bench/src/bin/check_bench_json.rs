@@ -12,9 +12,13 @@
 //! batching failed to lower the cost, carries a live-resize segment
 //! whose during-resize throughput fell below [`MIN_RESIZE_RATIO`]× of
 //! steady (or whose extra-hops-per-lookup breaks the split-order ≤ 1
-//! invariant), or is the `fig10d_cache_size` ledger without a resize
-//! segment at all — any of which means the harness produced garbage,
-//! not a slow result.
+//! invariant), is the `fig10d_cache_size` ledger without a resize
+//! segment at all, carries a membership-churn segment whose
+//! during-churn throughput fell below [`MIN_MEMBERSHIP_RATIO`]× of
+//! steady (or whose `extra.join_ms`/`extra.drain_ms` are non-positive),
+//! or is the `fig12_tpcc_machines` ledger without a membership segment
+//! at all — any of which means the harness produced garbage, not a
+//! slow result.
 //!
 //! With `--diff BASELINE_DIR`, each checked file is also compared
 //! against the same-named file in `BASELINE_DIR`: a throughput drop of
@@ -44,6 +48,11 @@ const MAX_REGRESSION: f64 = 0.10;
 /// Floor on `resize_throughput_during / resize_throughput_steady`: an
 /// online resize that halves throughput is not "online".
 const MIN_RESIZE_RATIO: f64 = 0.70;
+
+/// Floor on `membership_throughput_during / membership_throughput_steady`:
+/// a journaled join/leave cycle must leave concurrent traffic most of
+/// its steady-state throughput.
+const MIN_MEMBERSHIP_RATIO: f64 = 0.60;
 
 fn check(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
@@ -146,6 +155,52 @@ fn check(path: &PathBuf) -> Result<(), String> {
                 "extra.resize_extra_hops_per_lookup must be within [0, 1] \
                  (split-order invariant; got {h})"
             ));
+        }
+    }
+    // Membership-churn segment: the cluster-membership ledger must
+    // carry one, its during-churn throughput must hold
+    // MIN_MEMBERSHIP_RATIO of steady, and the reconfiguration timings
+    // it claims must be real (positive) measurements.
+    let m_steady = extra_of(&j, "membership_throughput_steady");
+    let m_during = extra_of(&j, "membership_throughput_during");
+    if matches!(j.get("bench"), Some(Json::Str(s)) if s == "fig12_tpcc_machines")
+        && (m_steady.is_none() || m_during.is_none())
+    {
+        return Err("fig12_tpcc_machines must carry the membership-churn segment \
+             (extra.membership_throughput_steady / extra.membership_throughput_during)"
+            .into());
+    }
+    match (m_steady, m_during) {
+        (Some(s), Some(d)) => {
+            if !(s > 0.0 && d > 0.0) {
+                return Err(format!(
+                    "membership throughputs must be positive (steady {s}, during {d})"
+                ));
+            }
+            if d < MIN_MEMBERSHIP_RATIO * s {
+                return Err(format!(
+                    "throughput during membership churn fell to {:.2}× of steady \
+                     (during {d:.3} vs steady {s:.3}, floor {MIN_MEMBERSHIP_RATIO}×)",
+                    d / s
+                ));
+            }
+            for key in ["join_ms", "drain_ms"] {
+                match extra_of(&j, key) {
+                    Some(ms) if ms > 0.0 => {}
+                    Some(ms) => {
+                        return Err(format!("extra.{key} must be positive (got {ms})"));
+                    }
+                    None => {
+                        return Err(format!("a membership-churn segment requires extra.{key}"));
+                    }
+                }
+            }
+        }
+        (None, None) => {}
+        _ => {
+            return Err("membership_throughput_steady and membership_throughput_during \
+                 must appear together"
+                .into())
         }
     }
     let tput = j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);

@@ -35,6 +35,11 @@ pub struct NodeLayout {
     /// Offset of the 64-byte migration journal the resharder arms before
     /// each journaled purge lock (`[active, src, state_off, lock_word]`).
     pub migration_journal_off: usize,
+    /// Offset of the membership journal: the coordinator persists every
+    /// join/leave phase transition here *before* it takes effect, so a
+    /// survivor can roll a dead joiner back (or a dead leaver forward)
+    /// from the subject's own NVRAM.
+    pub membership_journal_off: usize,
 }
 
 impl NodeLayout {
@@ -65,7 +70,8 @@ impl NodeLayout {
             })
             .collect();
         let migration_journal_off = arena.reserve(drtm_memstore::reshard::MIGRATION_JOURNAL_BYTES);
-        NodeLayout { log_slots, migration_journal_off }
+        let membership_journal_off = arena.reserve(crate::membership::MEMBERSHIP_JOURNAL_BYTES);
+        NodeLayout { log_slots, migration_journal_off, membership_journal_off }
     }
 }
 
@@ -86,6 +92,11 @@ mod tests {
         assert!(
             l.migration_journal_off >= last.write_ahead_off + last.write_ahead_cap,
             "migration journal follows the log slots"
+        );
+        assert!(
+            l.membership_journal_off
+                >= l.migration_journal_off + drtm_memstore::reshard::MIGRATION_JOURNAL_BYTES,
+            "membership journal follows the migration journal"
         );
     }
 

@@ -71,12 +71,27 @@ pub enum CrashPoint {
     /// before the cutover freezes the range. Same rollback obligation as
     /// mid-copy — nothing is durable until publish.
     MigrateBeforeCutover,
+    /// Membership: the joining machine dies inside the donation stream
+    /// (some donor ranges already flipped to it, one mid-copy). Rollback:
+    /// recover the in-flight range, evacuate the flipped ranges back to
+    /// their donors, retire the corpse — pre-join geometry restored.
+    JoinMidStream,
+    /// Membership: the joining machine dies after every donation landed
+    /// but before the journal records `Active`. The join never happened:
+    /// same rollback obligation as mid-stream (nothing is durable until
+    /// activation).
+    JoinBeforeActivate,
+    /// Membership: the leaving machine dies mid-drain (some ranges
+    /// already handed off, one mid-copy). Roll *forward*: finish the
+    /// drain from the surviving journal state — the departure was
+    /// already promised.
+    LeaveMidDrain,
 }
 
 impl CrashPoint {
     /// Every crash point, in protocol order (the chaos matrix iterates
     /// this).
-    pub const ALL: [CrashPoint; 12] = [
+    pub const ALL: [CrashPoint; 15] = [
         CrashPoint::AfterLockAhead,
         CrashPoint::AfterRemoteLocks,
         CrashPoint::BeforeHtmCommit,
@@ -89,6 +104,9 @@ impl CrashPoint {
         CrashPoint::FallbackMidUnlock,
         CrashPoint::MigrateMidCopy,
         CrashPoint::MigrateBeforeCutover,
+        CrashPoint::JoinMidStream,
+        CrashPoint::JoinBeforeActivate,
+        CrashPoint::LeaveMidDrain,
     ];
 
     /// Stable site label used to arm a `FaultPlan` crash at this point.
@@ -106,6 +124,9 @@ impl CrashPoint {
             CrashPoint::FallbackMidUnlock => "fallback-mid-unlock",
             CrashPoint::MigrateMidCopy => "migrate-mid-copy",
             CrashPoint::MigrateBeforeCutover => "migrate-before-cutover",
+            CrashPoint::JoinMidStream => "join-mid-stream",
+            CrashPoint::JoinBeforeActivate => "join-before-activate",
+            CrashPoint::LeaveMidDrain => "leave-mid-drain",
         }
     }
 
@@ -127,6 +148,16 @@ impl CrashPoint {
     /// commit-protocol matrix).
     pub fn is_migration(self) -> bool {
         matches!(self, CrashPoint::MigrateMidCopy | CrashPoint::MigrateBeforeCutover)
+    }
+
+    /// Whether this point lives in the membership coordinator's join /
+    /// leave protocol (driven by journal-based rollback or roll-forward,
+    /// not the per-transaction commit-protocol matrix).
+    pub fn is_membership(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::JoinMidStream | CrashPoint::JoinBeforeActivate | CrashPoint::LeaveMidDrain
+        )
     }
 }
 
@@ -213,11 +244,27 @@ mod tests {
         // and are the only ones outside the commit-protocol matrix.
         assert!(!CrashPoint::MigrateMidCopy.is_committed());
         assert!(!CrashPoint::MigrateBeforeCutover.is_committed());
+        // Membership points never mark the transaction protocol committed
+        // either: join crashes roll back, leave crashes roll forward, but
+        // both are whole-cluster recoveries, not WAL redo.
+        assert!(!CrashPoint::JoinMidStream.is_committed());
+        assert!(!CrashPoint::JoinBeforeActivate.is_committed());
+        assert!(!CrashPoint::LeaveMidDrain.is_committed());
         for p in CrashPoint::ALL {
             assert_eq!(
                 p.is_migration(),
                 matches!(p, CrashPoint::MigrateMidCopy | CrashPoint::MigrateBeforeCutover)
             );
+            assert_eq!(
+                p.is_membership(),
+                matches!(
+                    p,
+                    CrashPoint::JoinMidStream
+                        | CrashPoint::JoinBeforeActivate
+                        | CrashPoint::LeaveMidDrain
+                )
+            );
+            assert!(!(p.is_migration() && p.is_membership()));
         }
     }
 
@@ -233,5 +280,17 @@ mod tests {
             CrashPoint::MigrateBeforeCutover.name(),
             drtm_memstore::reshard::MIGRATE_BEFORE_CUTOVER_SITE
         );
+    }
+
+    #[test]
+    fn membership_site_names_match_the_coordinator_constants() {
+        // The coordinator arms FaultPlan crash sites by these strings;
+        // this cross-check keeps CrashPoint::name from drifting.
+        assert_eq!(CrashPoint::JoinMidStream.name(), crate::membership::JOIN_MID_STREAM_SITE);
+        assert_eq!(
+            CrashPoint::JoinBeforeActivate.name(),
+            crate::membership::JOIN_BEFORE_ACTIVATE_SITE
+        );
+        assert_eq!(CrashPoint::LeaveMidDrain.name(), crate::membership::LEAVE_MID_DRAIN_SITE);
     }
 }

@@ -10,9 +10,16 @@
 //! The coordination channel is deliberately *not* the RDMA fabric — the
 //! paper runs Zookeeper over a separate 10 GbE network — so heartbeats
 //! here are plain shared-memory timestamps, independent of region state.
+//!
+//! Cluster membership composes with detection: slots up to a capacity
+//! are pre-allocated, [`FailureDetector::add_node`] arms the heartbeat
+//! of a machine joined after `start`, and [`FailureDetector::retire`]
+//! excludes a gracefully departed machine from both suspicion and
+//! survivor selection — a retired machine is *supposed* to stop
+//! heartbeating, and must never be handed out as the recovery driver.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use drtm_rdma::NodeId;
@@ -20,12 +27,17 @@ use drtm_rdma::NodeId;
 use crate::time::wall_now_us;
 
 struct FdInner {
-    /// Last heartbeat per machine (µs since epoch); 0 = never.
+    /// Last heartbeat per slot (µs since epoch); only `active` slots
+    /// are live.
     beats: Vec<AtomicU64>,
     /// Machines administratively killed (simulated crash).
     killed: Vec<AtomicBool>,
     /// Machines already reported to the callback.
     reported: Vec<AtomicBool>,
+    /// Machines gracefully retired: no suspicion, never a survivor.
+    retired: Vec<AtomicBool>,
+    /// Count of provisioned machines (slots `0..active` heartbeat).
+    active: AtomicUsize,
     stop: AtomicBool,
 }
 
@@ -34,22 +46,28 @@ struct FdInner {
 /// Dropping the handle stops all of its threads.
 pub struct FailureDetector {
     inner: Arc<FdInner>,
+    /// Serialises concurrent `add_node` calls.
+    grow: Mutex<()>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for FailureDetector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FailureDetector").field("nodes", &self.inner.beats.len()).finish()
+        f.debug_struct("FailureDetector")
+            .field("nodes", &self.inner.active.load(Ordering::Relaxed))
+            .field("capacity", &self.inner.beats.len())
+            .finish()
     }
 }
 
 impl FailureDetector {
     /// Starts beater threads for `nodes` machines and a monitor that
     /// calls `on_failure(crashed, survivor)` once per detected crash.
+    /// Fixed geometry: capacity equals `nodes`.
     ///
     /// A machine is suspected after `timeout` without a heartbeat; the
-    /// survivor passed to the callback is the lowest-numbered live
-    /// machine (the paper lets Zookeeper pick any survivor).
+    /// survivor passed to the callback is the lowest-numbered live,
+    /// non-retired machine (the paper lets Zookeeper pick any survivor).
     ///
     /// With fewer than two machines there can never be a survivor to
     /// drive recovery, so the detector degenerates to a no-op: no
@@ -60,32 +78,58 @@ impl FailureDetector {
         timeout: Duration,
         on_failure: impl Fn(NodeId, NodeId) + Send + 'static,
     ) -> FailureDetector {
+        Self::start_with_capacity(nodes, nodes, heartbeat, timeout, on_failure)
+    }
+
+    /// [`FailureDetector::start`] with room to grow: `max_nodes` slots
+    /// are allocated up front, `nodes` of them heartbeat immediately,
+    /// and machines joined later get their slot via
+    /// [`FailureDetector::add_node`]. The no-op degeneration applies to
+    /// the *capacity*: a 1-node cluster that can grow still runs its
+    /// monitor.
+    pub fn start_with_capacity(
+        nodes: usize,
+        max_nodes: usize,
+        heartbeat: Duration,
+        timeout: Duration,
+        on_failure: impl Fn(NodeId, NodeId) + Send + 'static,
+    ) -> FailureDetector {
         assert!(timeout > heartbeat, "timeout must exceed the heartbeat period");
-        if nodes < 2 {
+        let cap = max_nodes.max(nodes);
+        if cap < 2 {
             let inner = Arc::new(FdInner {
-                beats: (0..nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
-                killed: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
-                reported: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                beats: (0..cap).map(|_| AtomicU64::new(u64::MAX)).collect(),
+                killed: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+                reported: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+                retired: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+                active: AtomicUsize::new(nodes),
                 stop: AtomicBool::new(true),
             });
-            return FailureDetector { inner, threads: Vec::new() };
+            return FailureDetector { inner, grow: Mutex::new(()), threads: Vec::new() };
         }
         let now = wall_now_us();
         let inner = Arc::new(FdInner {
-            beats: (0..nodes).map(|_| AtomicU64::new(now)).collect(),
-            killed: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
-            reported: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            beats: (0..cap).map(|_| AtomicU64::new(now)).collect(),
+            killed: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+            reported: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+            retired: (0..cap).map(|_| AtomicBool::new(false)).collect(),
+            active: AtomicUsize::new(nodes),
             stop: AtomicBool::new(false),
         });
         let mut threads = Vec::new();
-        for n in 0..nodes {
+        for n in 0..cap {
             let inner = inner.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("drtm-heartbeat-{n}"))
                     .spawn(move || {
                         while !inner.stop.load(Ordering::Relaxed) {
-                            if !inner.killed[n].load(Ordering::Relaxed) {
+                            // A slot beats once provisioned, unless its
+                            // machine is killed or gracefully retired.
+                            if n < inner.active.load(Ordering::Acquire)
+                                && !inner.killed[n].load(Ordering::Relaxed)
+                                && !inner.retired[n].load(Ordering::Relaxed)
+                            {
                                 inner.beats[n].store(wall_now_us(), Ordering::Relaxed);
                             }
                             std::thread::sleep(heartbeat);
@@ -103,11 +147,16 @@ impl FailureDetector {
                     .spawn(move || {
                         while !inner.stop.load(Ordering::Relaxed) {
                             let now = wall_now_us();
-                            let survivor = (0..inner.beats.len()).find(|&m| {
-                                now.saturating_sub(inner.beats[m].load(Ordering::Relaxed))
-                                    <= timeout_us
+                            let active = inner.active.load(Ordering::Acquire);
+                            let survivor = (0..active).find(|&m| {
+                                !inner.retired[m].load(Ordering::Relaxed)
+                                    && now.saturating_sub(inner.beats[m].load(Ordering::Relaxed))
+                                        <= timeout_us
                             });
-                            for n in 0..inner.beats.len() {
+                            for n in 0..active {
+                                if inner.retired[n].load(Ordering::Relaxed) {
+                                    continue; // a drained machine going quiet is not a crash
+                                }
                                 let late = now
                                     .saturating_sub(inner.beats[n].load(Ordering::Relaxed))
                                     > timeout_us;
@@ -125,7 +174,25 @@ impl FailureDetector {
                     .expect("spawn monitor"),
             );
         }
-        FailureDetector { inner, threads }
+        FailureDetector { inner, grow: Mutex::new(()), threads }
+    }
+
+    /// Arms the heartbeat slot of the next joined machine and returns
+    /// its id, or `None` at capacity. The slot beats from "now", so a
+    /// freshly joined machine starts with zero suspicion debt.
+    pub fn add_node(&self) -> Option<NodeId> {
+        let _g = self.grow.lock().expect("detector grow lock poisoned");
+        let id = self.inner.active.load(Ordering::Acquire);
+        if id >= self.inner.beats.len() {
+            return None;
+        }
+        // Beat first, then publish: the monitor must never see an
+        // active slot with a stale timestamp.
+        self.inner.beats[id].store(wall_now_us(), Ordering::Relaxed);
+        self.inner.killed[id].store(false, Ordering::Relaxed);
+        self.inner.reported[id].store(false, Ordering::Relaxed);
+        self.inner.active.store(id + 1, Ordering::Release);
+        Some(id as NodeId)
     }
 
     /// Simulates a crash: machine `node` stops heartbeating. Unknown
@@ -137,12 +204,28 @@ impl FailureDetector {
     }
 
     /// Simulates a restart: heartbeats resume and suspicion clears.
+    /// Re-arms `reported`, so the same machine crashing *again* later
+    /// is detected again.
     pub fn revive(&self, node: NodeId) {
         if (node as usize) < self.inner.killed.len() {
             self.inner.killed[node as usize].store(false, Ordering::Relaxed);
             self.inner.beats[node as usize].store(wall_now_us(), Ordering::Relaxed);
             self.inner.reported[node as usize].store(false, Ordering::Relaxed);
         }
+    }
+
+    /// Marks `node` gracefully retired: its heartbeat stops, but it is
+    /// excluded from suspicion (no callback fires for it) and from
+    /// survivor selection. Sticky, matching the fabric's retirement.
+    pub fn retire(&self, node: NodeId) {
+        if let Some(r) = self.inner.retired.get(node as usize) {
+            r.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `node` is retired from the detector's point of view.
+    pub fn is_retired(&self, node: NodeId) -> bool {
+        self.inner.retired.get(node as usize).is_some_and(|r| r.load(Ordering::Relaxed))
     }
 
     /// True if `node` has been reported crashed.
@@ -241,5 +324,75 @@ mod tests {
         fd.revive(1);
         std::thread::sleep(Duration::from_millis(50));
         assert!(!fd.is_suspected(1), "revived node is no longer suspected");
+    }
+
+    #[test]
+    fn double_crash_after_revive_is_detected_again() {
+        // Regression for the rejoin-then-crash-again case: `revive`
+        // must re-arm `reported`, else the second crash is silent.
+        let (tx, rx) = mpsc::channel();
+        let fd = FailureDetector::start(
+            2,
+            Duration::from_millis(5),
+            Duration::from_millis(400),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        fd.kill(1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).expect("first crash").0, 1);
+        fd.revive(1);
+        std::thread::sleep(Duration::from_millis(50));
+        fd.kill(1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).expect("second crash").0, 1);
+        assert!(fd.is_suspected(1));
+    }
+
+    #[test]
+    fn nodes_added_after_start_get_heartbeat_slots() {
+        let (tx, rx) = mpsc::channel();
+        let fd = FailureDetector::start_with_capacity(
+            2,
+            4,
+            Duration::from_millis(5),
+            Duration::from_millis(400),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        let joined = fd.add_node().expect("capacity for a third node");
+        assert_eq!(joined, 2);
+        // The joined node beats: no spurious report...
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+        // ...but killing it is detected like any founding member.
+        fd.kill(joined);
+        let (crashed, survivor) = rx.recv_timeout(Duration::from_secs(10)).expect("detection");
+        assert_eq!(crashed, joined);
+        assert_ne!(survivor, joined);
+        assert_eq!(fd.add_node(), Some(3));
+        assert_eq!(fd.add_node(), None, "capacity exhausted");
+    }
+
+    #[test]
+    fn retired_nodes_are_excluded_from_suspicion_and_survivorship() {
+        let (tx, rx) = mpsc::channel();
+        let fd = FailureDetector::start(
+            3,
+            Duration::from_millis(5),
+            Duration::from_millis(400),
+            move |c, s| {
+                let _ = tx.send((c, s));
+            },
+        );
+        // Node 0 leaves gracefully: its heartbeat stops, yet no report.
+        fd.retire(0);
+        assert!(fd.is_retired(0));
+        assert!(rx.recv_timeout(Duration::from_millis(600)).is_err(), "drain is not a crash");
+        assert!(!fd.is_suspected(0));
+        // Node 1 crashes: the survivor must skip retired node 0 even
+        // though 0 is the lowest-numbered slot.
+        fd.kill(1);
+        let (crashed, survivor) = rx.recv_timeout(Duration::from_secs(10)).expect("detection");
+        assert_eq!((crashed, survivor), (1, 2));
     }
 }

@@ -22,6 +22,7 @@ mod alloc_layout;
 mod config;
 mod failure;
 mod log;
+mod membership;
 mod record;
 mod recovery;
 mod ro;
@@ -38,6 +39,11 @@ pub use failure::FailureDetector;
 pub use log::{
     recovering_parts, recovering_status, ChopInfo, LogSlot, LoggedUpdate, LOG_EMPTY,
     LOG_LOCK_AHEAD, LOG_RECOVERING, LOG_WRITE_AHEAD,
+};
+pub use membership::{
+    JoinReport, LeaveReport, MembershipCoordinator, MembershipError, MembershipRecovery,
+    MembershipTable, NodeState, RecoveryDirection, JOIN_BEFORE_ACTIVATE_SITE, JOIN_MID_STREAM_SITE,
+    LEAVE_MID_DRAIN_SITE, MAX_JOURNAL_RANGES, MEMBERSHIP_JOURNAL_BYTES,
 };
 pub use record::{
     local_read, local_write, remote_lock_write, remote_lock_write_via, remote_read,

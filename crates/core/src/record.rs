@@ -68,16 +68,26 @@ pub enum LockConflict {
         /// The machine believed dead.
         node: u16,
     },
+    /// The record's machine left the cluster gracefully: its QPs are
+    /// closed for good. The transaction routed through a stale range
+    /// map; re-resolving the key against the current map is the fix,
+    /// not recovery.
+    Retired {
+        /// The retired machine.
+        node: u16,
+    },
 }
 
 /// Maps a fabric failure to the conflict the Start phase reports.
 /// A timeout is conservatively treated as a dead peer: the failure
-/// detector owns the difference.
+/// detector owns the difference. Retirement is kept distinct — it is
+/// a routing error, not a crash.
 fn conflict_of(e: FabricError) -> LockConflict {
     match e {
         FabricError::PeerDead { node } | FabricError::Timeout { node } => {
             LockConflict::PeerDead { node }
         }
+        FabricError::NodeRetired { node } => LockConflict::Retired { node },
     }
 }
 

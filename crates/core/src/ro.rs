@@ -23,7 +23,6 @@ use drtm_memstore::BTree;
 use crate::record::{self, RecordAddr};
 use crate::time::softtime_nt;
 use crate::txn::{TxnError, Worker};
-use drtm_rdma::NodeId;
 
 /// Internal signal: a record was locked or a lease could not be acquired;
 /// the read-only transaction restarts with a fresh end time.
@@ -41,8 +40,9 @@ pub struct RoCtx<'w> {
     /// may end earlier than `end_us`).
     min_end_us: u64,
     /// Set when an acquisition failed because the record's machine is
-    /// crashed: retrying is pointless until recovery runs.
-    dead_peer: Option<NodeId>,
+    /// crashed or retired: retrying is pointless until recovery runs
+    /// (crash) or the key is re-resolved (retirement).
+    fatal: Option<TxnError>,
 }
 
 impl RoCtx<'_> {
@@ -70,8 +70,14 @@ impl RoCtx<'_> {
                 Ok(f.value)
             }
             Err(c) => {
-                if let record::LockConflict::PeerDead { node } = c {
-                    self.dead_peer = Some(node);
+                match c {
+                    record::LockConflict::PeerDead { node } => {
+                        self.fatal = Some(TxnError::PeerDead(node));
+                    }
+                    record::LockConflict::Retired { node } => {
+                        self.fatal = Some(TxnError::Retired(node));
+                    }
+                    _ => {}
                 }
                 Err(RoRestart)
             }
@@ -152,7 +158,7 @@ impl Worker {
                 now_us: now,
                 delta_us: cfg.delta_us,
                 min_end_us: u64::MAX,
-                dead_peer: None,
+                fatal: None,
             };
             match body(&mut ctx) {
                 Ok(v) => {
@@ -166,9 +172,11 @@ impl Worker {
                     self.system().stats().add_ro_retry();
                 }
                 Err(RoRestart) => {
-                    if let Some(node) = ctx.dead_peer {
-                        self.system().stats().add_peer_dead_abort();
-                        return Err(TxnError::PeerDead(node));
+                    if let Some(err) = ctx.fatal {
+                        if matches!(err, TxnError::PeerDead(_)) {
+                            self.system().stats().add_peer_dead_abort();
+                        }
+                        return Err(err);
                     }
                     self.system().stats().add_ro_retry();
                     self.ro_backoff();

@@ -120,10 +120,24 @@ pub enum AbortCause {
     /// new owner since resolution: the attempt aborts and the worker
     /// re-resolves against the range map before retrying.
     Migrated,
+    /// The write routed to a machine still in the `Joining` membership
+    /// state: it owns no ranges yet, so the resolution was stale (or
+    /// raced the activation flip). Re-resolve and retry.
+    RouteJoining {
+        /// The joining machine.
+        node: u16,
+    },
+    /// The operation routed to a machine that already left the cluster
+    /// (`Retired`): its QPs are closed for good. Re-resolve against the
+    /// post-drain range map — recovery is *not* needed.
+    RouteRetired {
+        /// The retired machine.
+        node: u16,
+    },
 }
 
 /// Number of distinct [`AbortCause`] kinds (payloads ignored).
-pub const NUM_CAUSES: usize = 13;
+pub const NUM_CAUSES: usize = 15;
 
 impl AbortCause {
     /// Dense index of the cause kind (payloads ignored), for counters.
@@ -142,6 +156,8 @@ impl AbortCause {
             AbortCause::UserAbort => 10,
             AbortCause::PeerDead { .. } => 11,
             AbortCause::Migrated => 12,
+            AbortCause::RouteJoining { .. } => 13,
+            AbortCause::RouteRetired { .. } => 14,
         }
     }
 
@@ -171,6 +187,7 @@ impl AbortCause {
             LockConflict::Leased { end_us } => AbortCause::StartLeased { end_us },
             LockConflict::Ambiguous => AbortCause::StartAmbiguous,
             LockConflict::PeerDead { node } => AbortCause::PeerDead { node },
+            LockConflict::Retired { node } => AbortCause::RouteRetired { node },
         }
     }
 }
@@ -190,6 +207,8 @@ pub const CAUSE_NAMES: [&str; NUM_CAUSES] = [
     "user-abort",
     "peer-dead",
     "migrated",
+    "route-joining",
+    "route-retired",
 ];
 
 impl fmt::Display for AbortCause {
@@ -201,6 +220,8 @@ impl fmt::Display for AbortCause {
             }
             AbortCause::StartLeased { end_us } => write!(f, "start-leased(end={end_us}us)"),
             AbortCause::PeerDead { node } => write!(f, "peer-dead(n{node})"),
+            AbortCause::RouteJoining { node } => write!(f, "route-joining(n{node})"),
+            AbortCause::RouteRetired { node } => write!(f, "route-retired(n{node})"),
             other => f.write_str(other.kind_name()),
         }
     }
@@ -675,6 +696,8 @@ mod tests {
             AbortCause::UserAbort,
             AbortCause::PeerDead { node: 4 },
             AbortCause::Migrated,
+            AbortCause::RouteJoining { node: 2 },
+            AbortCause::RouteRetired { node: 5 },
         ];
         for (i, c) in all.iter().enumerate() {
             assert_eq!(c.index(), i, "{c}");
@@ -707,6 +730,10 @@ mod tests {
             AbortCause::StartLeased { end_us: 5 }
         );
         assert_eq!(AbortCause::from_conflict(LockConflict::Ambiguous), AbortCause::StartAmbiguous);
+        assert_eq!(
+            AbortCause::from_conflict(LockConflict::Retired { node: 3 }),
+            AbortCause::RouteRetired { node: 3 }
+        );
     }
 
     #[test]

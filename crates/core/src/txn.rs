@@ -28,7 +28,7 @@
 //! so a crash anywhere in the pipeline either rolls back cleanly or
 //! redoes to the exact committed state.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 #[cfg(test)]
 use drtm_htm::HtmConfig;
@@ -66,6 +66,10 @@ pub enum TxnError {
     /// releases parked for [`Worker::flush_pending`]) and can be
     /// retried once the `FailureDetector` → `recover_node` cycle runs.
     PeerDead(NodeId),
+    /// A fabric operation routed to a machine that gracefully left the
+    /// cluster: its QPs are closed for good. The caller re-resolves its
+    /// keys against the current range map and retries — no recovery.
+    Retired(NodeId),
 }
 
 /// Wall-clock grace the fallback handler grants a conflicting lock
@@ -105,7 +109,9 @@ pub struct DrTm {
     stats: Arc<TxnStats>,
     htm_stats: Arc<HtmStats>,
     trace: TraceHub,
-    layouts: Vec<NodeLayout>,
+    /// One layout per provisioned machine; grows under the lock when the
+    /// membership coordinator provisions a joining node.
+    layouts: RwLock<Vec<NodeLayout>>,
 }
 
 impl DrTm {
@@ -119,7 +125,7 @@ impl DrTm {
             stats: Arc::new(TxnStats::new()),
             htm_stats: Arc::new(HtmStats::new()),
             trace,
-            layouts,
+            layouts: RwLock::new(layouts),
         })
     }
 
@@ -129,9 +135,22 @@ impl DrTm {
     }
 
     /// Machine `node`'s region layout (recovery needs the crashed
-    /// machine's log-slot geometry).
-    pub fn layout(&self, node: NodeId) -> &NodeLayout {
-        &self.layouts[node as usize]
+    /// machine's log-slot geometry). Returned by value: the table can
+    /// grow concurrently under a join.
+    ///
+    /// # Panics
+    ///
+    /// If `node` has no registered layout.
+    pub fn layout(&self, node: NodeId) -> NodeLayout {
+        self.layouts.read().expect("layout lock poisoned")[node as usize].clone()
+    }
+
+    /// Registers the region layout of a machine provisioned after
+    /// startup (must be the next node id, keeping index == node id).
+    pub fn add_node_layout(&self, node: NodeId, layout: NodeLayout) {
+        let mut l = self.layouts.write().expect("layout lock poisoned");
+        assert_eq!(l.len(), node as usize, "layouts must grow in node-id order");
+        l.push(layout);
     }
 
     /// The configuration.
@@ -175,7 +194,8 @@ impl DrTm {
 
     /// Creates the handle a worker thread drives transactions through.
     pub fn worker(self: &Arc<Self>, node: NodeId, worker_id: usize) -> Worker {
-        let slot_layout = self.layouts[node as usize].log_slots[worker_id];
+        let slot_layout =
+            self.layouts.read().expect("layout lock poisoned")[node as usize].log_slots[worker_id];
         Worker {
             qp: self.cluster.qp(node),
             exec: Executor::new(self.cfg.htm.clone(), self.htm_stats.clone()),
@@ -369,7 +389,13 @@ impl Worker {
                 None => record::try_remote_unlock(&self.qp, &op.rec),
             };
             if let Err(e) = r {
-                let (FabricError::PeerDead { node } | FabricError::Timeout { node }) = e;
+                let node = match e {
+                    FabricError::PeerDead { node } | FabricError::Timeout { node } => node,
+                    // A graceful leave quiesces pending write-backs
+                    // *before* retiring, so this arm only fires under
+                    // chaos; the op stays parked like any other.
+                    FabricError::NodeRetired { node } => node,
+                };
                 still_dead.get_or_insert(node);
                 parked_again.push(op);
             }
@@ -526,7 +552,7 @@ impl Worker {
             }
             let mut w_fetched: Vec<FetchedRecord> = Vec::with_capacity(spec.remote_writes.len());
             let mut ok = true;
-            let mut dead_peer: Option<NodeId> = None;
+            let mut fatal: Option<TxnError> = None;
             for rec in &spec.remote_writes {
                 start_ops += 1;
                 match record::remote_lock_write(
@@ -538,8 +564,14 @@ impl Worker {
                 ) {
                     Ok(f) => w_fetched.push(f),
                     Err(c) => {
-                        if let record::LockConflict::PeerDead { node } = c {
-                            dead_peer = Some(node);
+                        match c {
+                            record::LockConflict::PeerDead { node } => {
+                                fatal = Some(TxnError::PeerDead(node));
+                            }
+                            record::LockConflict::Retired { node } => {
+                                fatal = Some(TxnError::Retired(node));
+                            }
+                            _ => {}
                         }
                         self.trace_abort(
                             txn_id,
@@ -559,8 +591,14 @@ impl Worker {
                     match record::remote_read(&self.qp, rec, end, now, self.sys.cfg.delta_us) {
                         Ok(f) => r_fetched.push(f),
                         Err(c) => {
-                            if let record::LockConflict::PeerDead { node } = c {
-                                dead_peer = Some(node);
+                            match c {
+                                record::LockConflict::PeerDead { node } => {
+                                    fatal = Some(TxnError::PeerDead(node));
+                                }
+                                record::LockConflict::Retired { node } => {
+                                    fatal = Some(TxnError::Retired(node));
+                                }
+                                _ => {}
                             }
                             self.trace_abort(
                                 txn_id,
@@ -590,11 +628,14 @@ impl Worker {
                     start_ops,
                 );
                 self.sys.stats.add_start_conflict();
-                if let Some(node) = dead_peer {
-                    // A peer machine is gone: retrying cannot help until
-                    // it is recovered — surface a typed abort instead.
-                    self.sys.stats.add_peer_dead_abort();
-                    return Err(TxnError::PeerDead(node));
+                if let Some(err) = fatal {
+                    // A peer machine is gone (crashed or retired):
+                    // retrying cannot help until recovery runs or the
+                    // key is re-resolved — surface a typed abort.
+                    if matches!(err, TxnError::PeerDead(_)) {
+                        self.sys.stats.add_peer_dead_abort();
+                    }
+                    return Err(err);
                 }
                 start_attempts += 1;
                 self.backoff(start_attempts);
@@ -935,6 +976,30 @@ impl Worker {
                     match r {
                         Ok(f) => break f,
                         Err(c) => {
+                            if let record::LockConflict::Retired { node } = c {
+                                // Stale routing to a departed machine:
+                                // release what we hold and surface the
+                                // typed abort (no recovery needed).
+                                if self.self_crashed() {
+                                    return Err(TxnError::SimulatedCrash);
+                                }
+                                for held in items.iter().take(fetched.len()).filter(|h| h.write) {
+                                    self.release_fallback_lock(&held.rec);
+                                    fb_ops += 1;
+                                }
+                                self.trace_abort(
+                                    txn_id,
+                                    Phase::Fallback,
+                                    AbortCause::RouteRetired { node },
+                                    Some(&it.rec),
+                                );
+                                self.sys.trace.phases.add(
+                                    Phase::Fallback,
+                                    vtime::read().saturating_sub(fb_t0),
+                                    fb_ops,
+                                );
+                                return Err(TxnError::Retired(node));
+                            }
                             let dead = match c {
                                 record::LockConflict::PeerDead { node } => Some(node),
                                 record::LockConflict::WriteLocked { owner }

@@ -94,6 +94,79 @@ pub enum MigratePhase {
 /// Installed migration-phase observer ([`Resharder::set_phase_hook`]).
 type PhaseHook = Box<dyn Fn(MigratePhase) + Send + Sync>;
 
+/// Typed rejection of an invalid [`RangeMap`] construction or
+/// transition — routing corruption (overlapping owners, a migration to
+/// the node that already owns the range) is refused up front instead of
+/// silently poisoning every later `route` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeMapError {
+    /// `lo > hi`: the range covers no key.
+    EmptyRange {
+        /// Lower bound as given.
+        lo: u64,
+        /// Upper bound as given.
+        hi: u64,
+    },
+    /// Two input ranges overlap; `lo` is the start of the second.
+    Overlap {
+        /// Start of the overlapping range.
+        lo: u64,
+    },
+    /// The migration destination already owns the range.
+    DstIsOwner {
+        /// The destination (= current owner).
+        dst: NodeId,
+    },
+    /// No map entry covers this key.
+    NotMapped {
+        /// The uncovered key.
+        key: u64,
+    },
+    /// `[lo, hi]` straddles more than one map entry.
+    SpansEntries {
+        /// Lower bound as given.
+        lo: u64,
+        /// Upper bound as given.
+        hi: u64,
+    },
+    /// The covering range is not `Stable` (a migration is in flight).
+    AlreadyMigrating {
+        /// Lower bound of the covering entry.
+        lo: u64,
+    },
+    /// The bounds do not name an exact existing entry.
+    NotAnExactRange {
+        /// Lower bound as given.
+        lo: u64,
+        /// Upper bound as given.
+        hi: u64,
+    },
+}
+
+impl std::fmt::Display for RangeMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeMapError::EmptyRange { lo, hi } => write!(f, "empty range [{lo}, {hi}]"),
+            RangeMapError::Overlap { lo } => write!(f, "overlapping ranges at {lo}"),
+            RangeMapError::DstIsOwner { dst } => {
+                write!(f, "destination {dst} already owns the range")
+            }
+            RangeMapError::NotMapped { key } => write!(f, "range not mapped at {key}"),
+            RangeMapError::SpansEntries { lo, hi } => {
+                write!(f, "range [{lo}, {hi}] spans multiple map entries")
+            }
+            RangeMapError::AlreadyMigrating { lo } => {
+                write!(f, "range at {lo} already migrating")
+            }
+            RangeMapError::NotAnExactRange { lo, hi } => {
+                write!(f, "[{lo}, {hi}] is not an exact map entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeMapError {}
+
 /// Migration state of one key range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RangeState {
@@ -149,19 +222,33 @@ pub struct RangeMap {
 impl RangeMap {
     /// Builds a map from disjoint `(lo, hi, owner)` triples (inclusive
     /// bounds).
+    ///
+    /// # Panics
+    ///
+    /// On invalid input; see [`RangeMap::try_new`] for the typed form.
     pub fn new(ranges: impl IntoIterator<Item = (u64, u64, NodeId)>) -> Self {
-        let mut v: Vec<RangeEntry> = ranges
-            .into_iter()
-            .map(|(lo, hi, owner)| {
-                assert!(lo <= hi, "empty range");
-                RangeEntry { lo, hi, owner, dst: None, epoch: 0, state: RangeState::Stable }
-            })
-            .collect();
+        Self::try_new(ranges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a map, rejecting zero-width (`lo > hi`) and overlapping
+    /// ranges with a typed error instead of corrupting routing.
+    pub fn try_new(
+        ranges: impl IntoIterator<Item = (u64, u64, NodeId)>,
+    ) -> Result<Self, RangeMapError> {
+        let mut v = Vec::new();
+        for (lo, hi, owner) in ranges {
+            if lo > hi {
+                return Err(RangeMapError::EmptyRange { lo, hi });
+            }
+            v.push(RangeEntry { lo, hi, owner, dst: None, epoch: 0, state: RangeState::Stable });
+        }
         v.sort_by_key(|r| r.lo);
         for w in v.windows(2) {
-            assert!(w[0].hi < w[1].lo, "overlapping ranges");
+            if w[0].hi >= w[1].lo {
+                return Err(RangeMapError::Overlap { lo: w[1].lo });
+            }
         }
-        RangeMap { ranges: RwLock::new(v) }
+        Ok(RangeMap { ranges: RwLock::new(v) })
     }
 
     fn locate(ranges: &[RangeEntry], key: u64) -> Option<usize> {
@@ -212,15 +299,31 @@ impl RangeMap {
     ///
     /// # Panics
     ///
-    /// If `[lo, hi]` is not contained in a single `Stable` range, or
-    /// `dst` already owns it.
+    /// On invalid input; see [`RangeMap::try_begin_copy`] for the typed
+    /// form.
     pub fn begin_copy(&self, lo: u64, hi: u64, dst: NodeId) -> u64 {
+        self.try_begin_copy(lo, hi, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`RangeMap::begin_copy`] with typed rejections: zero-width
+    /// bounds, an unmapped or entry-straddling range, a range already
+    /// migrating, or a `dst` that already owns it.
+    pub fn try_begin_copy(&self, lo: u64, hi: u64, dst: NodeId) -> Result<u64, RangeMapError> {
+        if lo > hi {
+            return Err(RangeMapError::EmptyRange { lo, hi });
+        }
         let mut ranges = self.ranges.write();
-        let i = Self::locate(&ranges, lo).expect("range not mapped");
+        let i = Self::locate(&ranges, lo).ok_or(RangeMapError::NotMapped { key: lo })?;
         let r = ranges[i];
-        assert!(hi <= r.hi, "migration range spans multiple map entries");
-        assert_eq!(r.state, RangeState::Stable, "range already migrating");
-        assert_ne!(r.owner, dst, "destination already owns the range");
+        if hi > r.hi {
+            return Err(RangeMapError::SpansEntries { lo, hi });
+        }
+        if r.state != RangeState::Stable {
+            return Err(RangeMapError::AlreadyMigrating { lo: r.lo });
+        }
+        if r.owner == dst {
+            return Err(RangeMapError::DstIsOwner { dst });
+        }
         let epoch = r.epoch + 1;
         let mid = RangeEntry {
             lo,
@@ -239,7 +342,69 @@ impl RangeMap {
             replacement.push(RangeEntry { lo: hi + 1, ..r });
         }
         ranges.splice(i..=i, replacement);
-        epoch
+        Ok(epoch)
+    }
+
+    /// The `Stable` ranges currently owned by `node`, sorted by `lo`.
+    /// Ranges mid-migration are excluded — resolve them (publish or
+    /// [`RangeMap::abort_migration`]) before draining an owner.
+    pub fn ranges_owned_by(&self, node: NodeId) -> Vec<(u64, u64)> {
+        self.ranges
+            .read()
+            .iter()
+            .filter(|r| r.owner == node && r.state == RangeState::Stable)
+            .map(|r| (r.lo, r.hi))
+            .collect()
+    }
+
+    /// Force-reassigns the exact `Stable` entry `[lo, hi]` to
+    /// `new_owner`, bumping its epoch. This is the journal-driven
+    /// repair primitive: membership recovery moves rows physically
+    /// first (evacuation), then flips routing here — never the other
+    /// way around.
+    pub fn reassign(&self, lo: u64, hi: u64, new_owner: NodeId) -> Result<u64, RangeMapError> {
+        let mut ranges = self.ranges.write();
+        let i = Self::locate(&ranges, lo).ok_or(RangeMapError::NotMapped { key: lo })?;
+        let r = &mut ranges[i];
+        if r.lo != lo || r.hi != hi {
+            return Err(RangeMapError::NotAnExactRange { lo, hi });
+        }
+        if r.state != RangeState::Stable {
+            return Err(RangeMapError::AlreadyMigrating { lo: r.lo });
+        }
+        r.owner = new_owner;
+        r.epoch += 1;
+        Ok(r.epoch)
+    }
+
+    /// Multi-range reassignment: flips every `Stable` range owned by
+    /// `from` to `to` in one write-locked pass, bumping each epoch.
+    /// Returns the moved `(lo, hi)` pairs. Used by leave roll-forward
+    /// when a drain's remaining ranges all land on one survivor.
+    pub fn reassign_owned(&self, from: NodeId, to: NodeId) -> Vec<(u64, u64)> {
+        let mut ranges = self.ranges.write();
+        let mut moved = Vec::new();
+        for r in ranges.iter_mut() {
+            if r.owner == from && r.state == RangeState::Stable {
+                r.owner = to;
+                r.epoch += 1;
+                moved.push((r.lo, r.hi));
+            }
+        }
+        moved
+    }
+
+    /// Donor selection for a membership join: the upper half of the
+    /// largest `Stable` range owned by `donor`, or `None` if every
+    /// range it owns is too small to split (fewer than 2 keys) or mid-
+    /// migration. Taking the *upper* half keeps the donor's remainder a
+    /// single contiguous entry.
+    pub fn donation_from(&self, donor: NodeId) -> Option<(u64, u64)> {
+        self.ranges_owned_by(donor)
+            .into_iter()
+            .filter(|(lo, hi)| hi > lo)
+            .max_by_key(|(lo, hi)| hi - lo)
+            .map(|(lo, hi)| (lo + (hi - lo) / 2 + 1, hi))
     }
 
     /// Freezes `[lo, hi]` for writes (Copying → Cutover). Returns the
@@ -325,7 +490,9 @@ pub struct Resharder {
     cluster: Arc<Cluster>,
     map: Arc<RangeMap>,
     /// Per-node elastic shards (identical geometry), indexed by node id.
-    shards: Vec<Arc<ElasticHash>>,
+    /// Grows when a membership join provisions a new node's shard
+    /// ([`Resharder::add_shard`]).
+    shards: RwLock<Vec<Arc<ElasticHash>>>,
     /// Index of the elastic table in every host's store-service registry.
     table_idx: u16,
     /// Region offset of the 64-byte migration journal (same layout on
@@ -352,7 +519,7 @@ pub struct Resharder {
 impl std::fmt::Debug for Resharder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Resharder")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards.read().len())
             .field("table_idx", &self.table_idx)
             .finish()
     }
@@ -376,7 +543,7 @@ impl Resharder {
         Resharder {
             cluster,
             map,
-            shards,
+            shards: RwLock::new(shards),
             table_idx,
             journal_off,
             lock_word,
@@ -395,6 +562,22 @@ impl Resharder {
     /// Registers a location cache to invalidate at cutover.
     pub fn register_cache(&self, cache: Arc<AddrCache>) {
         self.caches.write().push(cache);
+    }
+
+    /// Registers the shard of a newly joined node. Must be called in
+    /// node-id order (shard `n` belongs to node `n`), before any range
+    /// is migrated towards the node.
+    pub fn add_shard(&self, shard: Arc<ElasticHash>) {
+        self.shards.write().push(shard);
+    }
+
+    /// The shard owned by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard was registered for `node`.
+    pub fn shard(&self, node: NodeId) -> Arc<ElasticHash> {
+        self.shards.read()[node as usize].clone()
     }
 
     /// Installs a hook called at each [`MigratePhase`] boundary of every
@@ -440,8 +623,8 @@ impl Resharder {
         let faults = self.cluster.faults();
         let qp = self.cluster.qp(dst);
         let dst_region = self.cluster.node(dst).region();
-        let dst_shard = &self.shards[dst as usize];
-        let src_shard = &self.shards[src as usize];
+        let dst_shard = self.shard(dst);
+        let src_shard = self.shard(src);
 
         // Phase 1: bulk copy. Source stays writable; epoch bumps so
         // routing can tell "resolved before the migration" apart.
@@ -584,13 +767,48 @@ impl Resharder {
             }
             dst_region.write_u64_nt(self.journal_off, 0);
         }
-        let rows = self.shards[dst as usize].collect_range_nt(dst_region, lo, hi);
+        let dst_shard = self.shard(dst);
+        let rows = dst_shard.collect_range_nt(dst_region, lo, hi);
         let dropped = rows.len() as u64;
         for row in rows {
-            self.shards[dst as usize].delete(&self.exec, dst_region, row.key);
+            dst_shard.delete(&self.exec, dst_region, row.key);
         }
         self.map.abort_migration(lo, hi);
         (released, dropped)
+    }
+
+    /// Survivor-driven evacuation of `[lo, hi]` from a *dead or
+    /// retired* node's durable region into `to`'s shard: rows are read
+    /// off `from`'s NVRAM directly (never through the fabric — `from`
+    /// answers nothing), upserted into the receiver at their recorded
+    /// versions, deleted from the corpse's shard so a repeated
+    /// evacuation is idempotent, and every registered cache drops its
+    /// locations for the range. The caller flips routing afterwards
+    /// ([`RangeMap::reassign`]); until then readers still resolve to
+    /// `from` and fail typed, exactly like any op against it.
+    ///
+    /// Returns the number of rows moved.
+    pub fn evacuate_nt(&self, lo: u64, hi: u64, from: NodeId, to: NodeId) -> u64 {
+        let from_shard = self.shard(from);
+        let to_shard = self.shard(to);
+        let from_region = self.cluster.node(from).region();
+        let to_region = self.cluster.node(to).region();
+        let rows = from_shard.collect_range_nt(from_region, lo, hi);
+        let moved = rows.len() as u64;
+        for row in rows {
+            // A row can carry a lock word leaked by a transaction that
+            // died with its owner; the WAL sweep (`recover_node`) must
+            // run before evacuation, so by now every state word is 0.
+            to_shard
+                .upsert(&self.exec, to_region, row.key, &row.value, row.version)
+                .expect("receiver shard out of space during evacuation");
+            from_shard.delete(&self.exec, from_region, row.key);
+        }
+        for cache in self.caches.read().iter() {
+            self.cache_invalidations.fetch_add(cache.invalidate_range(lo, hi), Ordering::Relaxed);
+        }
+        self.keys_moved.fetch_add(moved, Ordering::Relaxed);
+        moved
     }
 }
 
@@ -686,6 +904,114 @@ mod tests {
         map.publish(0, 49);
         let d = map.route(10).unwrap();
         assert_eq!((d.primary, d.forward, d.writable), (1, None, true));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_width_and_overlapping_ranges() {
+        assert_eq!(
+            RangeMap::try_new([(10, 9, 0)]).err(),
+            Some(RangeMapError::EmptyRange { lo: 10, hi: 9 })
+        );
+        assert_eq!(
+            RangeMap::try_new([(0, 50, 0), (50, 99, 1)]).err(),
+            Some(RangeMapError::Overlap { lo: 50 }),
+            "inclusive bounds: sharing key 50 is an overlap"
+        );
+        assert_eq!(
+            RangeMap::try_new([(40, 60, 1), (0, 99, 0)]).err(),
+            Some(RangeMapError::Overlap { lo: 40 }),
+            "containment is an overlap regardless of input order"
+        );
+        // A one-key range is valid (inclusive bounds).
+        assert!(RangeMap::try_new([(5, 5, 0), (6, 9, 1)]).is_ok());
+    }
+
+    #[test]
+    fn try_begin_copy_rejects_each_invalid_transition() {
+        let map = RangeMap::new([(0, 99, 0), (200, 299, 1)]);
+        assert_eq!(
+            map.try_begin_copy(30, 20, 1).err(),
+            Some(RangeMapError::EmptyRange { lo: 30, hi: 20 })
+        );
+        assert_eq!(
+            map.try_begin_copy(150, 160, 1).err(),
+            Some(RangeMapError::NotMapped { key: 150 })
+        );
+        assert_eq!(
+            map.try_begin_copy(50, 250, 1).err(),
+            Some(RangeMapError::SpansEntries { lo: 50, hi: 250 })
+        );
+        assert_eq!(
+            map.try_begin_copy(0, 99, 0).err(),
+            Some(RangeMapError::DstIsOwner { dst: 0 }),
+            "migrating to the current owner must be refused"
+        );
+        assert!(map.try_begin_copy(0, 49, 1).is_ok());
+        assert_eq!(
+            map.try_begin_copy(0, 49, 1).err(),
+            Some(RangeMapError::AlreadyMigrating { lo: 0 })
+        );
+        // Routing is unharmed by all the rejections above.
+        assert_eq!(map.owner_of(60), Some(0));
+        assert_eq!(map.owner_of(250), Some(1));
+    }
+
+    #[test]
+    fn reassign_flips_exact_stable_entries_only() {
+        let map = RangeMap::new([(0, 99, 0), (100, 199, 1)]);
+        assert_eq!(
+            map.reassign(0, 50, 2).err(),
+            Some(RangeMapError::NotAnExactRange { lo: 0, hi: 50 })
+        );
+        assert_eq!(map.reassign(300, 310, 2).err(), Some(RangeMapError::NotMapped { key: 300 }));
+        let e = map.reassign(0, 99, 2).unwrap();
+        assert_eq!(map.owner_of(50), Some(2));
+        assert_eq!(map.epoch_of(50), Some(e), "reassignment bumps the epoch");
+        map.begin_copy(100, 199, 0);
+        assert_eq!(
+            map.reassign(100, 199, 2).err(),
+            Some(RangeMapError::AlreadyMigrating { lo: 100 }),
+            "a range mid-migration cannot be force-reassigned"
+        );
+    }
+
+    #[test]
+    fn multi_range_reassignment_and_donor_selection() {
+        let map = RangeMap::new([(0, 99, 0), (100, 149, 1), (150, 199, 0), (200, 200, 2)]);
+        assert_eq!(map.ranges_owned_by(0), vec![(0, 99), (150, 199)]);
+        // Donation: upper half of node 0's largest range.
+        assert_eq!(map.donation_from(0), Some((50, 99)));
+        // A one-key owner has nothing splittable to donate.
+        assert_eq!(map.donation_from(2), None);
+        // Drain node 0 entirely onto node 3.
+        let moved = map.reassign_owned(0, 3);
+        assert_eq!(moved, vec![(0, 99), (150, 199)]);
+        assert_eq!(map.owner_of(10), Some(3));
+        assert_eq!(map.owner_of(160), Some(3));
+        assert_eq!(map.owner_of(120), Some(1), "other owners untouched");
+        assert!(map.ranges_owned_by(0).is_empty());
+    }
+
+    #[test]
+    fn evacuation_moves_rows_off_a_corpse_without_the_fabric() {
+        let rig = rig();
+        fill(&rig, 0, 0..30);
+        rig.cluster.faults().kill(0);
+        // Node 0 is dead: evacuation reads its NVRAM directly.
+        let moved = rig.resharder.evacuate_nt(0, 19, 0, 1);
+        assert_eq!(moved, 20);
+        assert_eq!(rig.shards[0].len(), 10, "evacuated rows deleted from the corpse");
+        assert_eq!(rig.shards[1].len(), 20);
+        rig.resharder.map().reassign(0, 499, 1).unwrap();
+        let region = rig.cluster.node(1).region();
+        let mut txn = region.begin(rig.exec.config());
+        for k in 0..20u64 {
+            let e = rig.shards[1].get_local(&mut txn, k).unwrap().expect("evacuated key");
+            assert_eq!(e.read_value(&mut txn).unwrap(), k.to_le_bytes());
+        }
+        drop(txn);
+        // Idempotent: a replayed evacuation finds nothing left.
+        assert_eq!(rig.resharder.evacuate_nt(0, 19, 0, 1), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulated cluster: nodes, registered memory, queue pairs.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use drtm_htm::{vtime, Region};
 
@@ -57,8 +58,13 @@ pub enum AtomicityLevel {
 /// Configuration for [`Cluster::new`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of simulated machines.
+    /// Number of simulated machines at start.
     pub nodes: usize,
+    /// Capacity for machines added later via [`Cluster::add_node`]
+    /// (membership joins). `0` means "fixed geometry": capacity equals
+    /// `nodes`. Endpoint tables and fault state are sized to this up
+    /// front so a join never reallocates shared fabric structures.
+    pub max_nodes: usize,
     /// Size in bytes of each machine's RDMA-registered region.
     pub region_size: usize,
     /// Interconnect cost model.
@@ -76,6 +82,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             nodes: 1,
+            max_nodes: 0,
             region_size: 1 << 20,
             profile: LatencyProfile::rdma(),
             atomicity: AtomicityLevel::Hca,
@@ -108,9 +115,21 @@ impl Node {
 }
 
 /// The simulated cluster fabric.
+///
+/// Geometry can grow at runtime: slots up to the configured
+/// `max_nodes` capacity are pre-allocated and [`Cluster::add_node`]
+/// provisions the next one (region + verbs endpoints) without touching
+/// any shared structure readers hold — a membership join never blocks
+/// in-flight fabric traffic.
 #[derive(Debug)]
 pub struct Cluster {
-    nodes: Vec<Arc<Node>>,
+    /// Pre-sized node slots; `provisioned` of them are live.
+    nodes: Box<[OnceLock<Arc<Node>>]>,
+    /// Count of provisioned machines (ids `0..provisioned`).
+    provisioned: AtomicUsize,
+    /// Serialises concurrent `add_node` calls.
+    grow: Mutex<()>,
+    region_size: usize,
     profile: LatencyProfile,
     atomicity: AtomicityLevel,
     counters: Arc<OpCounters>,
@@ -120,36 +139,66 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster of `cfg.nodes` machines with zeroed regions.
+    /// Builds a cluster of `cfg.nodes` machines with zeroed regions and
+    /// capacity for `cfg.max_nodes` (later joins).
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
-        let nodes = (0..cfg.nodes)
-            .map(|i| {
-                Arc::new(Node { id: i as NodeId, region: Arc::new(Region::new(cfg.region_size)) })
-            })
-            .collect();
+        let cap = cfg.max_nodes.max(cfg.nodes);
+        assert!(cap <= NodeId::MAX as usize + 1, "node capacity exceeds NodeId space");
+        let nodes: Box<[OnceLock<Arc<Node>>]> = (0..cap).map(|_| OnceLock::new()).collect();
+        for (i, slot) in nodes.iter().take(cfg.nodes).enumerate() {
+            let node =
+                Arc::new(Node { id: i as NodeId, region: Arc::new(Region::new(cfg.region_size)) });
+            slot.set(node).expect("fresh slot");
+        }
         Arc::new(Cluster {
             nodes,
+            provisioned: AtomicUsize::new(cfg.nodes),
+            grow: Mutex::new(()),
+            region_size: cfg.region_size,
             profile: cfg.profile,
             atomicity: cfg.atomicity,
             counters: Arc::new(OpCounters::new()),
-            verbs: Verbs::new(cfg.nodes),
-            faults: FaultPlan::new(cfg.faults, cfg.nodes),
+            verbs: Verbs::new(cap),
+            faults: FaultPlan::new(cfg.faults, cap),
             doorbell: cfg.doorbell,
         })
     }
 
-    /// Number of machines in the cluster.
+    /// Number of provisioned machines (ids `0..num_nodes()`), including
+    /// crashed and retired ones — a node id, once handed out, stays
+    /// addressable (its NVRAM region outlives it).
     pub fn num_nodes(&self) -> usize {
+        self.provisioned.load(Ordering::Acquire)
+    }
+
+    /// Capacity of the fabric: `num_nodes()` can grow up to this.
+    pub fn max_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Provisions the next node slot — a fresh zeroed region plus live
+    /// verbs endpoints — and returns its id. Returns `None` when the
+    /// fabric is at capacity.
+    pub fn add_node(&self) -> Option<NodeId> {
+        let _g = self.grow.lock().expect("cluster grow lock poisoned");
+        let id = self.provisioned.load(Ordering::Acquire);
+        if id >= self.nodes.len() {
+            return None;
+        }
+        let node =
+            Arc::new(Node { id: id as NodeId, region: Arc::new(Region::new(self.region_size)) });
+        self.nodes[id].set(node).expect("slot already provisioned");
+        self.provisioned.store(id + 1, Ordering::Release);
+        Some(id as NodeId)
     }
 
     /// Returns machine `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` was never provisioned.
     pub fn node(&self, id: NodeId) -> &Arc<Node> {
-        &self.nodes[id as usize]
+        self.nodes[id as usize].get().expect("node not provisioned")
     }
 
     /// The interconnect cost model.
@@ -184,6 +233,8 @@ impl Cluster {
 
     /// Creates a queue-pair handle owned by machine `from`.
     pub fn qp(self: &Arc<Self>, from: NodeId) -> Qp {
+        // Doorbell slots cover the full capacity so a QP created before
+        // a join can address nodes provisioned after it.
         let doorbells = Doorbells::new(self.nodes.len());
         Qp { cluster: Arc::clone(self), from, doorbells }
     }
@@ -645,6 +696,48 @@ mod tests {
         let (da, db) = (deliveries(&a), deliveries(&b));
         assert_eq!(da, db, "same seed must replay the same schedule");
         assert_ne!(da.len(), 100, "with these probabilities some fate must differ");
+    }
+
+    #[test]
+    fn add_node_provisions_up_to_capacity() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            max_nodes: 4,
+            region_size: 4096,
+            profile: LatencyProfile::zero(),
+            ..Default::default()
+        });
+        assert_eq!((c.num_nodes(), c.max_nodes()), (2, 4));
+        // A QP created *before* the join can reach the new node.
+        let qp = c.qp(0);
+        let n2 = c.add_node().unwrap();
+        assert_eq!(n2, 2);
+        assert_eq!(c.num_nodes(), 3);
+        qp.write_u64(GlobalAddr::new(n2, 64), 9);
+        assert_eq!(qp.read_u64(GlobalAddr::new(n2, 64)), 9);
+        // Verbs endpoints are live without any re-registration.
+        c.qp(n2).send(0, 7, vec![1]);
+        assert_eq!(c.verbs().try_recv(0, 7).unwrap().payload, vec![1]);
+        assert_eq!(c.add_node(), Some(3));
+        assert_eq!(c.add_node(), None, "capacity exhausted");
+    }
+
+    #[test]
+    fn ops_against_a_retired_node_fail_typed_not_peer_dead() {
+        let c = two_nodes();
+        let qp = c.qp(0);
+        let addr = GlobalAddr::new(1, 0);
+        qp.write_u64(addr, 5);
+        c.faults().retire(1);
+        let gone = crate::FabricError::NodeRetired { node: 1 };
+        assert_eq!(qp.try_read_u64(addr), Err(gone));
+        assert_eq!(qp.try_write_u64(addr, 1), Err(gone));
+        assert_eq!(qp.try_cas_u64(addr, 5, 1), Err(gone));
+        assert_eq!(qp.try_send(1, 3, vec![1]), Err(gone));
+        // A retired node cannot issue ops either.
+        assert_eq!(c.qp(1).try_read_u64(GlobalAddr::new(0, 0)), Err(gone));
+        // Its region is still directly readable (drain audits, NVRAM).
+        assert_eq!(c.node(1).region().read_u64_nt(0), 5);
     }
 
     #[test]

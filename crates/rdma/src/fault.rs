@@ -48,6 +48,14 @@ pub enum FabricError {
         /// The machine the op was addressed to.
         node: NodeId,
     },
+    /// The addressed (or issuing) machine left the cluster gracefully:
+    /// its queue pairs were torn down in order, so the error surfaces
+    /// immediately (no deadline charge) and retrying is pointless — the
+    /// caller must re-route, not suspect a crash.
+    NodeRetired {
+        /// The retired machine.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for FabricError {
@@ -55,6 +63,7 @@ impl std::fmt::Display for FabricError {
         match self {
             FabricError::PeerDead { node } => write!(f, "peer {node} is dead"),
             FabricError::Timeout { node } => write!(f, "op to {node} timed out"),
+            FabricError::NodeRetired { node } => write!(f, "node {node} left the cluster"),
         }
     }
 }
@@ -119,6 +128,10 @@ pub struct FaultPlan {
     /// or the config carries nonzero probabilities.
     enabled: AtomicBool,
     crashed: Vec<AtomicBool>,
+    /// Nodes that left the cluster gracefully (membership `Retired`):
+    /// ops against them fail [`FabricError::NodeRetired`], never
+    /// `PeerDead`. Sticky — node ids are not reused.
+    retired: Vec<AtomicBool>,
     /// Armed `(node, site)` crash points; each fires at most once.
     armed: Mutex<Vec<(NodeId, String)>>,
     /// xorshift64 state; a mutex keeps draws atomic, determinism across
@@ -133,6 +146,7 @@ impl FaultPlan {
         FaultPlan {
             enabled: AtomicBool::new(enabled),
             crashed: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            retired: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
             armed: Mutex::new(Vec::new()),
             rng: Mutex::new(seed),
             cfg,
@@ -160,6 +174,21 @@ impl FaultPlan {
     /// Whether `node` is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.enabled.load(Ordering::Acquire) && self.crashed[node as usize].load(Ordering::Acquire)
+    }
+
+    /// Marks `node` as gracefully retired: every fabric op touching it
+    /// from now on fails [`FabricError::NodeRetired`] immediately (its
+    /// queue pairs closed in order — no deadline discovery), taking
+    /// precedence over a crashed flag. Sticky: node ids are not reused,
+    /// so there is no un-retire.
+    pub fn retire(&self, node: NodeId) {
+        self.enabled.store(true, Ordering::Release);
+        self.retired[node as usize].store(true, Ordering::Release);
+    }
+
+    /// Whether `node` has gracefully left the cluster.
+    pub fn is_retired(&self, node: NodeId) -> bool {
+        self.enabled.load(Ordering::Acquire) && self.retired[node as usize].load(Ordering::Acquire)
     }
 
     /// Arms a crash: the next time `node` reaches the named site (see
@@ -194,6 +223,14 @@ impl FaultPlan {
     pub(crate) fn admit(&self, from: NodeId, to: NodeId) -> Result<(), FabricError> {
         if !self.enabled.load(Ordering::Acquire) {
             return Ok(());
+        }
+        // Retirement is *known* state (the QP was closed in order), so
+        // unlike a crash the error is immediate and charges nothing.
+        if self.retired[to as usize].load(Ordering::Acquire) {
+            return Err(FabricError::NodeRetired { node: to });
+        }
+        if self.retired[from as usize].load(Ordering::Acquire) {
+            return Err(FabricError::NodeRetired { node: from });
         }
         if self.crashed[to as usize].load(Ordering::Acquire) {
             vtime::charge(self.cfg.deadline_ns);
@@ -288,6 +325,22 @@ mod tests {
         // Consumed: re-reaching the site after revival does not re-fire.
         p.revive(1);
         assert!(!p.crash_hook(1, "after-lock-ahead"));
+    }
+
+    #[test]
+    fn retired_node_fails_typed_without_deadline_charge() {
+        let p = plan(FaultConfig { deadline_ns: 5_000, ..FaultConfig::default() });
+        p.retire(2);
+        assert!(p.is_retired(2));
+        assert!(!p.is_crashed(2));
+        vtime::take();
+        assert_eq!(p.admit(0, 2), Err(FabricError::NodeRetired { node: 2 }));
+        assert_eq!(p.admit(2, 0), Err(FabricError::NodeRetired { node: 2 }));
+        assert_eq!(vtime::take(), 0, "a clean close surfaces immediately");
+        // Retirement outranks a crashed flag: a node that died and was
+        // then drained out reports its final, *known* state.
+        p.kill(2);
+        assert_eq!(p.admit(0, 2), Err(FabricError::NodeRetired { node: 2 }));
     }
 
     #[test]

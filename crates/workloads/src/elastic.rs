@@ -20,11 +20,12 @@
 //! total value — the invariant the chaos harness checks across crashes
 //! and migrations.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use drtm_core::{
-    AbortCause, DrTm, DrTmConfig, LockState, NodeLayout, RecordAddr, SoftTimer, TxnError, TxnSpec,
-    Worker,
+    AbortCause, DrTm, DrTmConfig, JoinReport, LeaveReport, LockState, MembershipCoordinator,
+    MembershipError, MembershipRecovery, MembershipTable, NodeLayout, NodeState, RecordAddr,
+    SoftTimer, TxnError, TxnSpec, Worker,
 };
 use drtm_htm::{Executor, HtmStats};
 use drtm_memstore::rpc::{spawn_store_service, StoreServiceGuard};
@@ -51,8 +52,11 @@ const RESHARD_REPLY_Q: drtm_rdma::QueueId = 0x6000;
 /// Elastic KV sizing and behaviour.
 #[derive(Debug, Clone)]
 pub struct ElasticKvConfig {
-    /// Simulated machines.
+    /// Simulated machines at startup.
     pub nodes: usize,
+    /// Fabric capacity for machines joined later ([`ElasticKv::join_node`]);
+    /// 0 = fixed geometry.
+    pub max_nodes: usize,
     /// Worker threads per machine.
     pub workers: usize,
     /// Keys initially owned by each machine (`[n·per, (n+1)·per)`).
@@ -78,6 +82,7 @@ impl Default for ElasticKvConfig {
     fn default() -> Self {
         ElasticKvConfig {
             nodes: 2,
+            max_nodes: 0,
             workers: 2,
             keys_per_node: 1_000,
             init_buckets: 16,
@@ -93,11 +98,24 @@ impl Default for ElasticKvConfig {
 
 /// Everything a worker needs besides its [`Worker`] handle.
 struct Shared {
-    shards: Vec<Arc<ElasticHash>>,
+    /// Per-node shards, indexed by node id; grows under a join.
+    shards: RwLock<Vec<Arc<ElasticHash>>>,
     map: Arc<RangeMap>,
     /// Per-client-machine address caches (registered with the resharder
-    /// for cutover invalidation).
-    caches: Vec<Arc<AddrCache>>,
+    /// for cutover invalidation); grows under a join.
+    caches: RwLock<Vec<Arc<AddrCache>>>,
+    /// Lifecycle state of every machine; workers gate writes on it.
+    membership: Arc<MembershipTable>,
+}
+
+impl Shared {
+    fn shard(&self, node: NodeId) -> Arc<ElasticHash> {
+        self.shards.read().expect("shard lock poisoned")[node as usize].clone()
+    }
+
+    fn cache(&self, node: NodeId) -> Arc<AddrCache> {
+        self.caches.read().expect("cache lock poisoned")[node as usize].clone()
+    }
 }
 
 /// A built elastic KV deployment.
@@ -106,9 +124,10 @@ pub struct ElasticKv {
     pub sys: Arc<DrTm>,
     shared: Arc<Shared>,
     resharder: Arc<Resharder>,
+    coordinator: Arc<MembershipCoordinator>,
     /// The configuration it was built with.
     pub cfg: ElasticKvConfig,
-    _services: Vec<StoreServiceGuard>,
+    _services: Arc<Mutex<Vec<StoreServiceGuard>>>,
     _timer: SoftTimer,
 }
 
@@ -118,6 +137,7 @@ impl ElasticKv {
     pub fn build(cfg: ElasticKvConfig) -> ElasticKv {
         let cluster = Cluster::new(ClusterConfig {
             nodes: cfg.nodes,
+            max_nodes: cfg.max_nodes,
             region_size: cfg.region_size,
             profile: cfg.profile.clone(),
             faults: cfg.faults.clone(),
@@ -163,7 +183,7 @@ impl ElasticKv {
             LockState::write_locked(u8::MAX).0,
             u64::MAX,
             RESHARD_REPLY_Q,
-            exec,
+            exec.clone(),
         ));
         let caches: Vec<Arc<AddrCache>> = (0..cfg.nodes)
             .map(|_| Arc::new(AddrCache::new((per as usize).next_power_of_two())))
@@ -172,15 +192,62 @@ impl ElasticKv {
             resharder.register_cache(c.clone());
         }
         let timer = SoftTimer::start(cluster.clone(), std::time::Duration::from_micros(200));
-        let sys = DrTm::new(cluster, cfg.drtm.clone(), layouts);
-        ElasticKv {
-            sys,
-            shared: Arc::new(Shared { shards, map, caches }),
-            resharder,
-            cfg,
-            _services: services,
-            _timer: timer,
-        }
+        let sys = DrTm::new(cluster.clone(), cfg.drtm.clone(), layouts);
+        let membership = Arc::new(MembershipTable::new(cfg.nodes));
+        let shared = Arc::new(Shared {
+            shards: RwLock::new(shards),
+            map,
+            caches: RwLock::new(caches),
+            membership: membership.clone(),
+        });
+        let services = Arc::new(Mutex::new(services));
+        // The provision callback a join runs on the new machine: carve
+        // the standard layout plus an (empty) shard on its region, spin
+        // its store service, register shard and cache with the
+        // resharder, and hand the layout back to the coordinator.
+        let provision = {
+            let cluster = cluster.clone();
+            let resharder = resharder.clone();
+            let shared = shared.clone();
+            let services = services.clone();
+            let exec = exec.clone();
+            let cfg = cfg.clone();
+            move |node: NodeId| -> NodeLayout {
+                let mut arena = Arena::new(0, cfg.region_size);
+                let layout = NodeLayout::reserve(&mut arena, cfg.workers);
+                let region = cluster.node(node).region();
+                let shard = Arc::new(ElasticHash::create(
+                    &mut arena,
+                    region,
+                    node,
+                    cfg.init_buckets,
+                    cfg.max_buckets,
+                    (cfg.keys_per_node as usize) * cfg.nodes + 64,
+                    VALUE_BYTES,
+                ));
+                services.lock().expect("service lock poisoned").push(spawn_store_service(
+                    cluster.clone(),
+                    node,
+                    vec![shard.clone()],
+                    exec.clone(),
+                ));
+                resharder.add_shard(shard.clone());
+                shared.shards.write().expect("shard lock poisoned").push(shard);
+                let cache =
+                    Arc::new(AddrCache::new((cfg.keys_per_node as usize).next_power_of_two()));
+                resharder.register_cache(cache.clone());
+                shared.caches.write().expect("cache lock poisoned").push(cache);
+                layout
+            }
+        };
+        let coordinator = Arc::new(MembershipCoordinator::new(
+            cluster,
+            sys.clone(),
+            resharder.clone(),
+            membership,
+            provision,
+        ));
+        ElasticKv { sys, shared, resharder, coordinator, cfg, _services: services, _timer: timer }
     }
 
     /// Creates a per-thread workload driver for `(node, worker_id)`.
@@ -199,13 +266,45 @@ impl ElasticKv {
     }
 
     /// The shard owned by `node`.
-    pub fn shard(&self, node: NodeId) -> &Arc<ElasticHash> {
-        &self.shared.shards[node as usize]
+    pub fn shard(&self, node: NodeId) -> Arc<ElasticHash> {
+        self.shared.shard(node)
     }
 
     /// The address cache of client machine `node`.
-    pub fn cache(&self, node: NodeId) -> &Arc<AddrCache> {
-        &self.shared.caches[node as usize]
+    pub fn cache(&self, node: NodeId) -> Arc<AddrCache> {
+        self.shared.cache(node)
+    }
+
+    /// The cluster membership table (lifecycle state per machine).
+    pub fn membership(&self) -> &Arc<MembershipTable> {
+        self.coordinator.table()
+    }
+
+    /// The membership coordinator (attach a failure detector, drive
+    /// joins/leaves directly).
+    pub fn coordinator(&self) -> &Arc<MembershipCoordinator> {
+        &self.coordinator
+    }
+
+    /// Driver hook: admits a new machine to the live cluster — fabric
+    /// slot, region, shard, services, one donation range from every
+    /// active machine — and activates it.
+    pub fn join_node(&self) -> Result<JoinReport, MembershipError> {
+        self.coordinator.join()
+    }
+
+    /// Driver hook: gracefully retires `node`, draining every owned
+    /// range to the remaining machines and quiescing its WAL (driven
+    /// from `via`).
+    pub fn leave_node(&self, node: NodeId, via: NodeId) -> Result<LeaveReport, MembershipError> {
+        self.coordinator.leave(node, via)
+    }
+
+    /// Driver hook: repairs a membership operation whose subject died
+    /// (compose into the failure detector's callback). Returns `None`
+    /// when the death was not a membership operation.
+    pub fn recover_membership(&self, crashed: NodeId, via: NodeId) -> Option<MembershipRecovery> {
+        self.coordinator.recover(crashed, via)
     }
 
     /// Driver hook: doubles `node`'s bucket array once (readers never
@@ -227,7 +326,7 @@ impl ElasticKv {
     /// Sum of per-shard resize counters (grows, lookups, extra hops).
     pub fn elastic_stats(&self) -> ElasticStats {
         let mut out = ElasticStats::default();
-        for s in &self.shared.shards {
+        for s in self.shared.shards.read().expect("shard lock poisoned").iter() {
             let st = s.stats();
             out.grows += st.grows;
             out.lookups += st.lookups;
@@ -244,7 +343,7 @@ impl ElasticKv {
         for key in 0..self.cfg.nodes as u64 * self.cfg.keys_per_node {
             let owner = self.shared.map.owner_of(key).expect("unmapped key");
             let region = self.sys.cluster().node(owner).region();
-            let shard = &self.shared.shards[owner as usize];
+            let shard = self.shared.shard(owner);
             loop {
                 let mut txn = region.begin(exec.config());
                 if let Ok(Some(e)) = shard.get_local(&mut txn, key) {
@@ -291,8 +390,8 @@ impl ElasticKvWorker {
         &mut self.w
     }
 
-    fn cache(&self) -> &Arc<AddrCache> {
-        &self.shared.caches[self.w.node as usize]
+    fn cache(&self) -> Arc<AddrCache> {
+        self.shared.cache(self.w.node)
     }
 
     /// Reads the raw value bytes of `key` on `server` (no routing):
@@ -301,7 +400,7 @@ impl ElasticKvWorker {
     /// stale cached location (key migrated away) fails the check, is
     /// invalidated, and falls through to a fresh one-sided lookup.
     fn value_on(&self, server: NodeId, key: u64) -> Result<Option<Vec<u8>>, TxnError> {
-        let shard = &self.shared.shards[server as usize];
+        let shard = self.shared.shard(server);
         if server == self.w.node {
             let region = self.w.region().clone();
             let mut backoff = drtm_htm::backoff::Backoff::new();
@@ -366,7 +465,7 @@ impl ElasticKvWorker {
     fn resolve(&self, server: NodeId, key: u64) -> Result<Option<RecordAddr>, TxnError> {
         if server == self.w.node {
             let region = self.w.region().clone();
-            let shard = &self.shared.shards[server as usize];
+            let shard = self.shared.shard(server);
             let mut backoff = drtm_htm::backoff::Backoff::new();
             loop {
                 let mut txn = region.begin(self.w.executor().config());
@@ -380,7 +479,7 @@ impl ElasticKvWorker {
                 backoff.snooze();
             }
         } else {
-            let shard = &self.shared.shards[server as usize];
+            let shard = self.shared.shard(server);
             let cache = self.cache();
             if let Some((addr, slot)) = cache.lookup(key) {
                 if addr.node == server
@@ -407,6 +506,25 @@ impl ElasticKvWorker {
     pub fn try_transfer(&mut self, a: u64, b: u64, amount: u64) -> Result<WriteOutcome, TxnError> {
         let da = self.shared.map.route(a).expect("unmapped key");
         let db = self.shared.map.route(b).expect("unmapped key");
+        // Membership gate: a primary still `Joining` owns nothing
+        // authoritatively (the routing raced an activation flip), and a
+        // `Retired` primary means the resolution predates a drain —
+        // both are typed, retriable routing aborts, never a wedge.
+        for d in [&da, &db] {
+            match self.shared.membership.state_of(d.primary) {
+                Some(NodeState::Joining) => {
+                    self.w.note_abort(AbortCause::RouteJoining { node: d.primary });
+                    return Ok(WriteOutcome::Frozen);
+                }
+                Some(NodeState::Retired) => {
+                    self.w.note_abort(AbortCause::RouteRetired { node: d.primary });
+                    return Ok(WriteOutcome::Frozen);
+                }
+                // Active and Draining machines serve writes normally
+                // (per-range freezes are the range map's business).
+                _ => {}
+            }
+        }
         if !da.writable || !db.writable {
             self.w.note_abort(AbortCause::Migrated);
             return Ok(WriteOutcome::Frozen);
@@ -492,6 +610,7 @@ fn post_inc(i: &mut usize) -> usize {
 fn dead(e: FabricError) -> TxnError {
     match e {
         FabricError::PeerDead { node } | FabricError::Timeout { node } => TxnError::PeerDead(node),
+        FabricError::NodeRetired { node } => TxnError::Retired(node),
     }
 }
 
@@ -623,5 +742,76 @@ mod tests {
                 assert_eq!(region.read_u64_nt(row.entry_off), 0, "leaked lock on {}", row.key);
             }
         }
+    }
+
+    #[test]
+    fn join_then_leave_round_trip_serves_from_every_geometry() {
+        let kv = ElasticKv::build(ElasticKvConfig { max_nodes: 3, ..tiny() });
+        let total = 2 * 200 * INIT_VALUE;
+
+        // Join: each founding machine donates the upper half of its
+        // range to the newcomer, which then serves as a full member.
+        let join = kv.join_node().expect("join");
+        assert_eq!(join.node, 2);
+        assert_eq!(join.ranges_in, vec![(100, 199, 0), (300, 399, 1)]);
+        assert_eq!(join.keys_moved, 200);
+        assert_eq!(kv.membership().state_of(2), Some(NodeState::Active));
+        assert_eq!(kv.map().owner_of(150), Some(2));
+        assert_eq!(kv.map().owner_of(350), Some(2));
+        assert_eq!(kv.total_value(), total, "conservation across the join");
+
+        // Transfers into the donated ranges commit on the new owner, and
+        // reads resolve there.
+        let mut w = kv.worker(0, 0);
+        assert_eq!(w.try_transfer(150, 10, 7).unwrap(), WriteOutcome::Committed);
+        assert_eq!(w.read(150).unwrap(), Some(INIT_VALUE - 7));
+        assert_eq!(kv.total_value(), total);
+
+        // Leave: the ranges drain back round-robin (ascending receiver
+        // ids) and the machine retires with a clean quiesce.
+        let leave = kv.leave_node(2, 0).expect("leave");
+        assert_eq!(leave.ranges_out, vec![(100, 199, 0), (300, 399, 1)]);
+        assert_eq!(leave.keys_moved, 200);
+        assert_eq!(leave.quiesce, drtm_core::RecoveryReport::default());
+        assert_eq!(kv.membership().state_of(2), Some(NodeState::Retired));
+        assert!(kv.map().ranges_owned_by(2).is_empty());
+        assert_eq!(kv.map().owner_of(150), Some(0));
+        assert_eq!(kv.map().owner_of(350), Some(1));
+        assert_eq!(kv.total_value(), total, "conservation across the leave");
+
+        // The survivors serve the whole keyspace again.
+        assert_eq!(w.try_transfer(150, 350, 3).unwrap(), WriteOutcome::Committed);
+        assert_eq!(kv.total_value(), total);
+
+        // Retirement is typed at the fabric and terminal at the table.
+        assert!(kv.sys.cluster().faults().is_retired(2));
+        assert_eq!(
+            kv.leave_node(2, 0).unwrap_err(),
+            MembershipError::WrongState { node: 2, state: Some(NodeState::Retired) }
+        );
+    }
+
+    #[test]
+    fn membership_gate_records_typed_routing_aborts() {
+        let kv = ElasticKv::build(tiny());
+        let mut w = kv.worker(0, 0);
+
+        // A primary still Joining owns nothing authoritatively: the
+        // write aborts typed and retriable, never wedges.
+        kv.membership().set(1, NodeState::Joining);
+        assert_eq!(w.try_transfer(5, 205, 1).unwrap(), WriteOutcome::Frozen);
+        assert_eq!(kv.sys.trace().causes().get(AbortCause::RouteJoining { node: 1 }), 1);
+
+        // A Retired primary means the resolution predates a drain.
+        kv.membership().set(1, NodeState::Retired);
+        assert_eq!(w.try_transfer(5, 205, 1).unwrap(), WriteOutcome::Frozen);
+        assert_eq!(kv.sys.trace().causes().get(AbortCause::RouteRetired { node: 1 }), 1);
+
+        // Draining machines keep serving; Active obviously too.
+        kv.membership().set(1, NodeState::Draining);
+        assert_eq!(w.try_transfer(5, 205, 1).unwrap(), WriteOutcome::Committed);
+        kv.membership().set(1, NodeState::Active);
+        assert_eq!(w.try_transfer(5, 205, 1).unwrap(), WriteOutcome::Committed);
+        assert_eq!(kv.total_value(), 2 * 200 * INIT_VALUE);
     }
 }

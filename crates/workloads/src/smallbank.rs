@@ -223,6 +223,7 @@ impl SmallBankWorker {
             Err(FabricError::PeerDead { node } | FabricError::Timeout { node }) => {
                 Err(TxnError::PeerDead(node))
             }
+            Err(FabricError::NodeRetired { node }) => Err(TxnError::Retired(node)),
         }
     }
 

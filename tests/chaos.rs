@@ -17,11 +17,12 @@ use std::time::Duration;
 use drtm::htm::{Executor, HtmStats};
 use drtm::memstore::{Arena, ClusterHash};
 use drtm::rdma::{
-    Cluster, ClusterConfig, DoorbellConfig, FabricError, FaultConfig, LatencyProfile,
+    Cluster, ClusterConfig, DoorbellConfig, FabricError, FaultConfig, GlobalAddr, LatencyProfile,
 };
 use drtm::txn::{
-    recover_node, CrashPoint, DrTm, DrTmConfig, FailureDetector, LockState, NodeLayout,
-    RecoveryReport, SoftTimer, TxnError, TxnSpec,
+    recover_node, CrashPoint, DrTm, DrTmConfig, FailureDetector, LockState, MembershipError,
+    MembershipRecovery, NodeLayout, NodeState, RecoveryDirection, RecoveryReport, SoftTimer,
+    TxnError, TxnSpec,
 };
 use drtm::workloads::elastic::{ElasticKv, ElasticKvConfig, INIT_VALUE};
 use drtm::workloads::resolve::Table;
@@ -166,6 +167,11 @@ fn expected_report(p: CrashPoint) -> RecoveryReport {
         // the log sweep finds nothing (the migration matrix below
         // checks range-level rollback separately).
         CrashPoint::MigrateMidCopy | CrashPoint::MigrateBeforeCutover => {}
+        // Membership points fire inside the coordinator's join/leave
+        // protocols, not inside a transaction, so the log sweep likewise
+        // finds nothing (the membership matrix below checks the
+        // journal-driven rollback/roll-forward separately).
+        CrashPoint::JoinMidStream | CrashPoint::JoinBeforeActivate | CrashPoint::LeaveMidDrain => {}
     }
     r
 }
@@ -219,7 +225,7 @@ fn crash_and_recover_with_doorbell(
 
 #[test]
 fn crash_matrix_every_point_recovers_to_the_exact_report() {
-    for &p in CrashPoint::ALL.iter().filter(|p| !p.is_migration()) {
+    for &p in CrashPoint::ALL.iter().filter(|p| !p.is_migration() && !p.is_membership()) {
         let (f, report) = crash_and_recover(p);
         assert_eq!(report, expected_report(p), "report mismatch at {p:?}");
         let want = if p.is_committed() { 107 } else { 100 };
@@ -642,7 +648,7 @@ fn send_fates_apply_per_logical_op_not_per_doorbell() {
 /// or ring one doorbell each.
 #[test]
 fn crash_matrix_reports_match_with_batching_on_and_off() {
-    for &p in CrashPoint::ALL.iter().filter(|p| !p.is_migration()) {
+    for &p in CrashPoint::ALL.iter().filter(|p| !p.is_migration() && !p.is_membership()) {
         let (fa, ra) = crash_and_recover_with_doorbell(p, DoorbellConfig::disabled());
         let (fb, rb) = crash_and_recover_with_doorbell(
             p,
@@ -718,7 +724,7 @@ fn migration_crash_run(
     // Survivor-driven recovery: the generic per-slot sweep (machine 0
     // reads the corpse's durable region directly), then revive and roll
     // the range back to its source.
-    let report = recover_node(kv.sys.cluster(), 1, kv.sys.layout(1), 0);
+    let report = recover_node(kv.sys.cluster(), 1, &kv.sys.layout(1), 0);
     kv.sys.cluster().faults().revive(1);
     kv.resharder().recover(10, 59, 1);
 
@@ -751,6 +757,317 @@ fn migration_crash_matrix_recovers_with_conservation() {
 }
 
 // ---------------------------------------------------------------------
+// Membership crash matrix: the join/leave subject dies mid-protocol.
+// ---------------------------------------------------------------------
+
+/// An elastic deployment sized for membership chaos: 100 keys per
+/// founding machine, write-ahead logging on, zero-latency fabric so the
+/// runs are fast and exactly replayable.
+fn membership_kv(nodes: usize, max_nodes: usize, doorbell: DoorbellConfig) -> ElasticKv {
+    ElasticKv::build(ElasticKvConfig {
+        nodes,
+        max_nodes,
+        workers: 2,
+        keys_per_node: 100,
+        init_buckets: 4,
+        max_buckets: 512,
+        region_size: 16 << 20,
+        profile: LatencyProfile::zero(),
+        doorbell,
+        drtm: DrTmConfig { logging: true, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+/// No entry on any provisioned shard — including the corpse's — may
+/// still carry a lock word once a membership recovery finished.
+fn assert_no_membership_locks(kv: &ElasticKv) {
+    for n in 0..kv.sys.cluster().num_nodes() as u16 {
+        let region = kv.sys.cluster().node(n).region();
+        for row in kv.shard(n).collect_range_nt(region, 0, u64::MAX - 1) {
+            assert_eq!(
+                region.read_u64_nt(row.entry_off),
+                0,
+                "leaked lock on node {n} key {}",
+                row.key
+            );
+        }
+    }
+}
+
+/// Arms `site` on the joining machine (node 2 of a 2-node cluster),
+/// runs the join to its crash, then repairs via the membership journal.
+fn join_crash_run(site: &str, doorbell: DoorbellConfig) -> (ElasticKv, MembershipRecovery) {
+    let kv = membership_kv(2, 4, doorbell);
+    assert_eq!(kv.total_value(), 2 * 100 * INIT_VALUE);
+    kv.sys.cluster().faults().arm_crash(2, site);
+    let err = kv.join_node().unwrap_err();
+    assert_eq!(
+        err,
+        MembershipError::SubjectDied { node: 2, error: FabricError::PeerDead { node: 2 } },
+        "the armed crash must surface as a subject death"
+    );
+    assert!(kv.sys.cluster().faults().is_crashed(2));
+    let rec = kv.recover_membership(2, 0).expect("an armed join journal must dispatch recovery");
+    (kv, rec)
+}
+
+#[test]
+fn join_crash_points_roll_back_to_the_pre_join_geometry() {
+    // Founding geometry: node 0 owns [0,99], node 1 owns [100,199].
+    // Each donates its upper half to the joiner. Mid-stream the crash
+    // fires with donation 0 landed and donation 1 about to be left
+    // mid-copy; before-activate it fires with both landed.
+    let mid = MembershipRecovery {
+        node: 2,
+        direction: RecoveryDirection::RolledBack,
+        wal: RecoveryReport::default(),
+        released_locks: 0,
+        dropped_rows: 0,
+        evacuated_keys: 50,
+        ranges: vec![(50, 99, 0)],
+        epoch: 3,
+    };
+    let before = MembershipRecovery {
+        evacuated_keys: 100,
+        ranges: vec![(50, 99, 0), (150, 199, 1)],
+        ..mid.clone()
+    };
+    for (p, want) in [(CrashPoint::JoinMidStream, mid), (CrashPoint::JoinBeforeActivate, before)] {
+        let (kv, rec) = join_crash_run(p.name(), DoorbellConfig::default());
+        assert_eq!(rec, want, "{p:?}: recovery report mismatch");
+        // Pre-join geometry restored: the donors own their halves again
+        // and the donated rows are back home.
+        assert_eq!(kv.map().owner_of(75), Some(0), "{p:?}: donation must return to node 0");
+        assert_eq!(kv.map().owner_of(175), Some(1), "{p:?}: donation must return to node 1");
+        assert!(kv.map().ranges_owned_by(2).is_empty(), "{p:?}: no orphaned ranges");
+        assert_eq!(kv.total_value(), 2 * 100 * INIT_VALUE, "{p:?}: conservation");
+        assert_no_membership_locks(&kv);
+        // The corpse retired: sticky, typed, never PeerDead.
+        assert_eq!(kv.membership().state_of(2), Some(NodeState::Retired), "{p:?}");
+        assert!(kv.sys.cluster().faults().is_retired(2), "{p:?}");
+        assert_eq!(
+            kv.sys.cluster().qp(0).try_read_u64(GlobalAddr::new(2, 0)).unwrap_err(),
+            FabricError::NodeRetired { node: 2 },
+            "{p:?}: ops against the retired corpse fail typed"
+        );
+        // The journal is spent: a second dispatch finds a plain death.
+        assert!(kv.recover_membership(2, 0).is_none(), "{p:?}: recovery not idempotent");
+
+        // Replay determinism: an identical run yields a byte-identical
+        // report, and doorbell batching must not change it either.
+        let (_, replay) = join_crash_run(p.name(), DoorbellConfig::default());
+        assert_eq!(replay, rec, "{p:?}: replay diverged");
+        let (_, unbatched) = join_crash_run(p.name(), DoorbellConfig::disabled());
+        assert_eq!(unbatched, rec, "{p:?}: batching changed the recovery");
+
+        // Survivors keep transacting on the repaired geometry, and a
+        // fresh join completes — under a brand-new id, never a reuse.
+        let mut w = kv.worker(0, 0);
+        w.transfer(10, 175, 7).unwrap();
+        assert_eq!(kv.total_value(), 2 * 100 * INIT_VALUE, "{p:?}: transfers conserve");
+        let report = kv.join_node().expect("a fresh join after rollback");
+        assert_eq!(report.node, 3, "{p:?}: node ids are never reused");
+        assert_eq!(kv.membership().state_of(3), Some(NodeState::Active), "{p:?}");
+        assert_eq!(kv.total_value(), 2 * 100 * INIT_VALUE, "{p:?}: conservation after rejoin");
+    }
+}
+
+/// Arms the mid-drain site on a leaving machine that owns two ranges,
+/// runs the leave to its crash, then rolls the drain forward.
+fn leave_crash_run(doorbell: DoorbellConfig) -> (ElasticKv, MembershipRecovery) {
+    let kv = membership_kv(3, 0, doorbell);
+    // Give the leaver a second range so one hand-off lands before the
+    // crash and the next is left mid-copy: node 1 owns [0,49] and
+    // [100,199], nodes 0 and 2 keep [50,99] and [200,299].
+    kv.migrate(0, 49, 1).unwrap();
+    assert_eq!(kv.total_value(), 3 * 100 * INIT_VALUE);
+    kv.sys.cluster().faults().arm_crash(1, CrashPoint::LeaveMidDrain.name());
+    let err = kv.leave_node(1, 0).unwrap_err();
+    assert_eq!(
+        err,
+        MembershipError::SubjectDied { node: 1, error: FabricError::PeerDead { node: 1 } },
+        "the armed crash must surface as a subject death"
+    );
+    assert!(kv.sys.cluster().faults().is_crashed(1));
+    let rec = kv.recover_membership(1, 0).expect("an armed leave journal must dispatch recovery");
+    (kv, rec)
+}
+
+#[test]
+fn leave_mid_drain_rolls_the_departure_forward() {
+    // Hand-off of [0,49] to node 0 landed before the crash; [100,199]
+    // restarts as an NVRAM evacuation to its journaled receiver, node 2.
+    let want = MembershipRecovery {
+        node: 1,
+        direction: RecoveryDirection::RolledForward,
+        wal: RecoveryReport::default(),
+        released_locks: 0,
+        dropped_rows: 0,
+        evacuated_keys: 100,
+        ranges: vec![(100, 199, 2)],
+        epoch: 3,
+    };
+    let (kv, rec) = leave_crash_run(DoorbellConfig::default());
+    assert_eq!(rec, want, "recovery report mismatch");
+    // The departure finished: the leaver owns nothing, every key routes
+    // to a survivor, and every row survived the two transports.
+    assert_eq!(kv.map().owner_of(25), Some(0), "completed hand-off stays published");
+    assert_eq!(kv.map().owner_of(150), Some(2), "in-flight range lands on its receiver");
+    assert_eq!(kv.map().owner_of(250), Some(2));
+    assert!(kv.map().ranges_owned_by(1).is_empty(), "the leaver owns nothing");
+    assert_eq!(kv.total_value(), 3 * 100 * INIT_VALUE, "conservation");
+    assert_no_membership_locks(&kv);
+    assert_eq!(kv.membership().state_of(1), Some(NodeState::Retired));
+    assert!(kv.sys.cluster().faults().is_retired(1));
+    assert_eq!(
+        kv.sys.cluster().qp(0).try_read_u64(GlobalAddr::new(1, 0)).unwrap_err(),
+        FabricError::NodeRetired { node: 1 },
+        "ops against the departed corpse fail typed"
+    );
+    assert!(kv.recover_membership(1, 0).is_none(), "recovery not idempotent");
+
+    // Replay determinism, batching on and off.
+    let (_, replay) = leave_crash_run(DoorbellConfig::default());
+    assert_eq!(replay, rec, "replay diverged");
+    let (_, unbatched) = leave_crash_run(DoorbellConfig::disabled());
+    assert_eq!(unbatched, rec, "batching changed the recovery");
+
+    // Survivors transact across the inherited ranges.
+    let mut w = kv.worker(0, 0);
+    w.transfer(25, 250, 9).unwrap();
+    assert_eq!(kv.total_value(), 3 * 100 * INIT_VALUE);
+}
+
+/// The composition the tentpole promises: the failure detector (not the
+/// test) notices the joiner's death and drives the journal rollback.
+#[test]
+fn failure_detector_drives_membership_rollback() {
+    let kv = membership_kv(2, 4, DoorbellConfig::default());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let cluster = kv.sys.cluster().clone();
+    let coordinator = kv.coordinator().clone();
+    let fd = Arc::new(FailureDetector::start_with_capacity(
+        2,
+        4,
+        Duration::from_millis(5),
+        Duration::from_millis(400),
+        move |crashed, survivor| {
+            if !cluster.faults().is_crashed(crashed) {
+                return;
+            }
+            // Membership dispatch first; `None` would mean a plain
+            // (non-membership) death for the generic WAL sweep.
+            let rec = coordinator.recover(crashed, survivor);
+            let _ = tx.send((crashed, rec));
+        },
+    ));
+    kv.coordinator().set_detector(fd.clone());
+    kv.sys.cluster().faults().arm_crash(2, CrashPoint::JoinBeforeActivate.name());
+    let err = kv.join_node().unwrap_err();
+    assert!(matches!(err, MembershipError::SubjectDied { node: 2, .. }), "{err:?}");
+    // The fabric already knows; now the joiner's heartbeat stops and
+    // detection composes into recovery.
+    fd.kill(2);
+    let (crashed, rec) = rx.recv_timeout(Duration::from_secs(10)).expect("detection must fire");
+    assert_eq!(crashed, 2);
+    let rec = rec.expect("the join journal must drive a rollback");
+    assert_eq!(
+        rec,
+        MembershipRecovery {
+            node: 2,
+            direction: RecoveryDirection::RolledBack,
+            wal: RecoveryReport::default(),
+            released_locks: 0,
+            dropped_rows: 0,
+            evacuated_keys: 100,
+            ranges: vec![(50, 99, 0), (150, 199, 1)],
+            epoch: 3,
+        }
+    );
+    assert_eq!(kv.total_value(), 2 * 100 * INIT_VALUE, "conservation after detected rollback");
+    assert_eq!(kv.membership().state_of(2), Some(NodeState::Retired));
+    assert!(fd.is_retired(2), "rollback retires the corpse in the detector too");
+    assert_no_membership_locks(&kv);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the elastic KV serves through a join and a graceful leave.
+// ---------------------------------------------------------------------
+
+#[test]
+fn elastic_kv_serves_through_a_join_and_a_graceful_leave() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let kv = membership_kv(2, 3, DoorbellConfig::default());
+    let expected = 2 * 100 * INIT_VALUE;
+    let iters = scaled(400, 40);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for n in 0..2u16 {
+            for wid in 0..2 {
+                let mut w = kv.worker(n, wid);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut x = n as u64 * 977 + wid as u64 * 131 + 7;
+                    for i in 0..iters {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let a = (x >> 33) % 200;
+                        let b = (x >> 13) % 200;
+                        if a == b {
+                            continue;
+                        }
+                        // Conserving transfers only. A `Retired` abort is
+                        // the typed TOCTOU race — the key was resolved
+                        // before the drain published — and re-routes on
+                        // retry; nothing else may fail.
+                        loop {
+                            match w.transfer(a, b, (i as u64 % 5) + 1) {
+                                Ok(()) => break,
+                                Err(TxnError::Retired(node)) => {
+                                    assert_eq!(node, 2, "only the leaver retires")
+                                }
+                                Err(e) => panic!("unexpected failure: {e:?}"),
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        // Join a third machine while the mix runs...
+        std::thread::sleep(Duration::from_millis(20));
+        let join = kv.join_node().expect("join under live traffic");
+        assert_eq!(join.node, 2);
+        assert_eq!(join.ranges_in.len(), 2, "one donation per founding machine");
+        assert_eq!(kv.map().ranges_owned_by(2).len(), 2);
+        // ...serve from three machines for a while...
+        std::thread::sleep(Duration::from_millis(30));
+        // ...then gracefully retire it again.
+        let leave = kv.leave_node(2, 0).expect("graceful leave under live traffic");
+        assert_eq!(leave.node, 2);
+        assert_eq!(leave.ranges_out.len(), 2, "both donated ranges drain back out");
+        assert_eq!(leave.quiesce, RecoveryReport::default(), "a clean leave leaks nothing");
+        assert!(kv.map().ranges_owned_by(2).is_empty(), "the leaver owns nothing");
+        std::thread::sleep(Duration::from_millis(10));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(kv.total_value(), expected, "conservation across join, serve and leave");
+    assert_eq!(
+        kv.membership().snapshot(),
+        vec![NodeState::Active, NodeState::Active, NodeState::Retired]
+    );
+    assert_eq!(
+        kv.sys.cluster().qp(0).try_read_u64(GlobalAddr::new(2, 0)).unwrap_err(),
+        FabricError::NodeRetired { node: 2 }
+    );
+    assert!(kv.sys.stats().snapshot().committed > 0, "the mix must have made progress");
+    assert_no_membership_locks(&kv);
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: SmallBank under a mid-run crash with a live detector.
 // ---------------------------------------------------------------------
 
@@ -777,7 +1094,7 @@ fn smallbank_survives_a_mid_run_crash_with_live_detection() {
     // Zookeeper stand-in: detection drives recovery on a survivor.
     let (tx, rx) = std::sync::mpsc::channel();
     let cluster = sb.sys.cluster().clone();
-    let layout = sb.sys.layout(2).clone();
+    let layout = sb.sys.layout(2);
     // Generous timeout: a starved beater thread on a loaded host must
     // not be mistaken for a crash — and before running (destructive)
     // recovery, cross-check the suspicion against the fabric.
